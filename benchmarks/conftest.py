@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark/regeneration suite.
+
+Each benchmark regenerates one of the paper's tables or figures and saves
+the rendered artifact (measured values next to the paper's) under
+``benchmarks/results/``. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    """Directory artifacts are written into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write one regenerated artifact to disk (and echo to stdout)."""
+
+    def write(name: str, text: str) -> None:
+        path = artifact_dir / name
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return write

@@ -1,0 +1,74 @@
+"""Benchmark F1 — regenerate Figure 1 (China strategies 1–8 waterfalls).
+
+Renders the client/server packet waterfall for each China strategy,
+checking each diagram shows the paper's characteristic packet pattern.
+"""
+
+import pytest
+
+from repro.core import SERVER_STRATEGIES, deployed_strategy
+from repro.eval.waterfall import waterfall_for_trial
+
+#: (strategy, protocol to demo on, seed chosen so the strategy succeeds).
+_CASES = {
+    1: ("http", 3),
+    2: ("http", 1),
+    3: ("ftp", 3),
+    4: ("ftp", 23),
+    5: ("ftp", 1),
+    6: ("http", 23),
+    7: ("http", 23),
+    8: ("smtp", 1),
+}
+
+
+def _render_all():
+    sections = []
+    for number, (protocol, seed) in _CASES.items():
+        title = f"Strategy {number}: {SERVER_STRATEGIES[number].name} ({protocol})"
+        sections.append(
+            waterfall_for_trial(
+                "china", protocol, deployed_strategy(number), seed=seed, title=title
+            )
+        )
+    return "\n\n".join(sections)
+
+
+_SIGNATURES = [
+    (1, "RST"),                # injected RST opens the strategy
+    (2, "SYN (w/ load)"),      # payload-bearing SYN
+    (3, "bad ackno"),          # corrupted ack number
+    (5, "SYN/ACK (w/ load"),   # payload on a SYN+ACK
+    (6, "FIN (w/ load)"),      # payload on a FIN
+    (8, "small window"),       # window reduction
+]
+
+
+def test_figure1_waterfalls(benchmark, save_artifact):
+    text = benchmark.pedantic(_render_all, rounds=1, iterations=1)
+    save_artifact("figure1_waterfalls.txt", text)
+    for number in _CASES:
+        assert f"Strategy {number}:" in text
+    # Signature checks also run here so `--benchmark-only` exercises them.
+    for number, needle in _SIGNATURES:
+        assert needle in text, (number, needle)
+    test_strategy1_packet_order()
+
+
+@pytest.mark.parametrize("number,needle", _SIGNATURES)
+def test_waterfall_signatures(number, needle, save_artifact):
+    protocol, seed = _CASES[number]
+    text = waterfall_for_trial(
+        "china", protocol, deployed_strategy(number), seed=seed
+    )
+    assert needle in text, text
+
+
+def test_strategy1_packet_order():
+    """Figure 1, Strategy 1: SYN, RST, SYN, client SYN/ACK, ..."""
+    text = waterfall_for_trial("china", "http", deployed_strategy(1), seed=3)
+    lines = [l for l in text.splitlines() if "--->" in l or "<---" in l]
+    assert "SYN" in lines[0] and "--->" in lines[0]
+    assert "RST" in lines[1]
+    assert lines[2].strip().startswith("<---") and "SYN" in lines[2]
+    assert "SYN/ACK" in lines[3] and "--->" in lines[3]

@@ -1,0 +1,48 @@
+"""Benchmark F2 — regenerate Figure 2 (Kazakhstan strategies 9–11)."""
+
+from repro.core import SERVER_STRATEGIES, deployed_strategy
+from repro.eval.waterfall import waterfall_for_trial
+
+
+def _render_all():
+    sections = []
+    for number in (9, 10, 11):
+        title = f"Strategy {number}: {SERVER_STRATEGIES[number].name} (kazakhstan/http)"
+        sections.append(
+            waterfall_for_trial(
+                "kazakhstan", "http", deployed_strategy(number), seed=3, title=title
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def test_figure2_waterfalls(benchmark, save_artifact):
+    text = benchmark.pedantic(_render_all, rounds=1, iterations=1)
+    save_artifact("figure2_waterfalls.txt", text)
+    assert "outcome: success" in text
+    # Signature checks also run here so `--benchmark-only` exercises them.
+    test_strategy9_three_loaded_synacks()
+    test_strategy10_double_benign_get()
+    test_strategy11_no_flags_packet()
+    test_censorship_waterfall_shows_blockpage()
+
+
+def test_strategy9_three_loaded_synacks():
+    text = waterfall_for_trial("kazakhstan", "http", deployed_strategy(9), seed=3)
+    assert text.count("SYN/ACK (w/ load)") == 3
+
+
+def test_strategy10_double_benign_get():
+    text = waterfall_for_trial("kazakhstan", "http", deployed_strategy(10), seed=3)
+    assert text.count("SYN/ACK (w/ GET load)") == 2
+
+
+def test_strategy11_no_flags_packet():
+    text = waterfall_for_trial("kazakhstan", "http", deployed_strategy(11), seed=3)
+    assert "(no flags)" in text
+
+
+def test_censorship_waterfall_shows_blockpage():
+    text = waterfall_for_trial("kazakhstan", "http", None, seed=3)
+    assert "FIN/PSH/ACK" in text
+    assert "censor action" in text

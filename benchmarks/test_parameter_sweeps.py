@@ -1,0 +1,62 @@
+"""Benchmark SWP — parameter sweeps around the paper's point measurements.
+
+Maps the operating envelopes: the window-size crossover for Strategy 8,
+the (linear) dependence of sim-open strategies on the GFW's resync-entry
+probability, and Kazakhstan's 15-second MITM interception window.
+"""
+
+from repro.eval.sweeps import (
+    format_sweep,
+    mitm_retry_sweep,
+    resync_probability_sweep,
+    window_size_sweep,
+)
+
+
+def test_window_size_crossover(benchmark, save_artifact):
+    rates = benchmark.pedantic(
+        window_size_sweep,
+        kwargs={"windows": (2, 5, 10, 20, 30, 40, 60, 100, 200), "trials": 8, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        "sweep_window_size.txt",
+        format_sweep("Strategy 8 success vs advertised window (India/HTTP)", rates, "B"),
+    )
+    assert rates[10] == 1.0
+    assert rates[200] == 0.0
+    # The crossover sits where one segment first spans the censored Host.
+    crossover = min(w for w, rate in rates.items() if rate < 0.5)
+    assert 20 < crossover <= 60
+
+
+def test_resync_probability_sensitivity(benchmark, save_artifact):
+    rates = benchmark.pedantic(
+        resync_probability_sweep,
+        kwargs={"probabilities": (0.0, 0.25, 0.5, 0.75, 1.0), "trials": 120, "seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        "sweep_resync_probability.txt",
+        format_sweep("Strategy 1 success vs GFW resync-entry probability", rates),
+    )
+    # Near-linear tracking: success ≈ miss + (1 - miss) * probability.
+    for probability, rate in rates.items():
+        predicted = 0.03 + 0.97 * probability
+        assert abs(rate - predicted) < 0.12, (probability, rate, predicted)
+
+
+def test_mitm_window_duration(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        mitm_retry_sweep,
+        kwargs={"delays": (1.0, 5.0, 10.0, 14.0, 16.0, 20.0, 30.0)},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        "sweep_mitm_window.txt",
+        format_sweep("Kazakhstan MITM: packet forwarded at t+delay?", results, "s"),
+    )
+    assert not results[14.0] and results[16.0]  # the paper's ~15 s window

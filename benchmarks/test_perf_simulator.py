@@ -1,0 +1,71 @@
+"""Performance benchmarks for the simulator itself.
+
+These are genuine timing benchmarks (multiple rounds): how fast a full
+censored-trial runs, how fast the packet codec round-trips, and the GA's
+per-generation throughput — the numbers that bound how large Table 2 and
+evolution runs can be.
+"""
+
+import random
+
+from repro.core import Strategy, deployed_strategy
+from repro.eval import run_trial
+from repro.packets import Packet, make_tcp_packet
+
+
+def test_perf_full_http_trial(benchmark):
+    counter = iter(range(10_000_000))
+
+    def one_trial():
+        return run_trial("china", "http", deployed_strategy(1), seed=next(counter))
+
+    result = benchmark(one_trial)
+    assert result.outcome in ("success", "reset", "timeout")
+
+
+def test_perf_dns_trial_with_retries(benchmark):
+    counter = iter(range(10_000_000))
+
+    def one_trial():
+        return run_trial("china", "dns", deployed_strategy(1), seed=next(counter))
+
+    result = benchmark(one_trial)
+    assert result.outcome in ("success", "reset", "timeout", "garbled")
+
+
+def test_perf_packet_round_trip(benchmark):
+    packet = make_tcp_packet(
+        "10.0.0.1", "10.0.0.2", 40000, 80, flags="PA", seq=1, ack=2,
+        load=b"GET /?q=ultrasurf HTTP/1.1\r\nHost: example.com\r\n\r\n",
+        options=[("mss", 1460), ("wscale", 7), ("sackok", None)],
+    )
+
+    def round_trip():
+        return Packet.parse(packet.serialize())
+
+    parsed = benchmark(round_trip)
+    assert parsed.load == packet.load
+
+
+def test_perf_strategy_application(benchmark):
+    strategy = deployed_strategy(6)
+    synack = make_tcp_packet(
+        "10.0.0.2", "10.0.0.1", 80, 40000, flags="SA", seq=1000, ack=2001
+    )
+    rng = random.Random(1)
+
+    def apply():
+        return strategy.apply_outbound(synack, rng)
+
+    out = benchmark(apply)
+    assert len(out) == 3
+
+
+def test_perf_strategy_parse(benchmark):
+    text = str(deployed_strategy(6))
+
+    def parse():
+        return Strategy.parse(text)
+
+    parsed = benchmark(parse)
+    assert not parsed.is_noop()

@@ -1,0 +1,24 @@
+"""Benchmark S3 — regenerate §3 (client-side strategies do not generalize).
+
+Verifies working client-side TCB-teardown strategies, derives their
+server-side analogs (insertion packet before/after the SYN+ACK) and shows
+none of the analogs work — the observation that motivated the paper's
+blank-slate server-side search.
+"""
+
+from repro.eval.generalization import format_generalization, run_generalization
+
+
+def test_section3_generalization(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_generalization,
+        kwargs={"trials": 25, "seed": 4},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("section3_generalization.txt", format_generalization(result))
+    # Paper: every working client-side species works; 0 of the analogs do.
+    assert result.client_working_count == len(result.client_side_working)
+    assert result.analogs_working_count == 0
+    # The analogs are not merely weak — they sit at the baseline miss rate.
+    assert all(rate <= 0.15 for rate in result.analog_rates.values())

@@ -1,0 +1,32 @@
+"""Benchmark S4b — §4.2's vantage-point invariance.
+
+Strategy effectiveness must not depend on the client's vantage point or
+the external server's location (modelled as topology variations).
+"""
+
+from repro.eval.stats import Proportion, two_proportion_z
+from repro.eval.vantage import format_vantages, measure_across_vantages
+
+TRIALS = 120
+
+
+def test_vantage_invariance(benchmark, save_artifact):
+    rates = benchmark.pedantic(
+        measure_across_vantages,
+        kwargs={"strategy_number": 1, "protocol": "http", "trials": TRIALS, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("section4_vantages.txt", format_vantages(rates))
+
+    values = list(rates.values())
+    # No pair of vantage points differs significantly (two-proportion z).
+    for i, a in enumerate(values):
+        for b in values[i + 1 :]:
+            z = two_proportion_z(
+                Proportion(round(a * TRIALS), TRIALS),
+                Proportion(round(b * TRIALS), TRIALS),
+            )
+            assert abs(z) < 2.5, rates
+    # All vantage points sit in the strategy's ~50% band.
+    assert all(0.35 <= value <= 0.7 for value in values), rates

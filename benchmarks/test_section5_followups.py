@@ -1,0 +1,69 @@
+"""Benchmark S5x — regenerate §5's instrumented follow-up experiments.
+
+These are the causal probes that *explain* the strategies: sequence
+offsets, induced-RST suppression, RST-seq matching, and the Kazakhstan
+payload/GET sweeps and censor-probing injections.
+"""
+
+from repro.eval.followups import (
+    drop_client_rst_probe,
+    kz_get_prefix_sweep,
+    kz_injection_probe,
+    kz_payload_count_sweep,
+    kz_payload_size_sweep,
+    rst_seq_match_probe,
+    seq_offset_probe,
+)
+
+TRIALS = 60
+
+
+def _run_all():
+    return {
+        "seq-1 with S1 (censored frac)": seq_offset_probe(1, -1, trials=TRIALS, seed=3),
+        "seq-1 without strategy (censored frac)": seq_offset_probe(
+            None, -1, trials=20, seed=3
+        ),
+        "S5/ftp with client RST dropped (success)": drop_client_rst_probe(
+            5, "ftp", trials=TRIALS, seed=3
+        ),
+        "S6/ftp with client RST dropped (success)": drop_client_rst_probe(
+            6, "ftp", trials=TRIALS, seed=3
+        ),
+        "S7 request re-sequenced onto RST (censored frac)": rst_seq_match_probe(
+            7, trials=TRIALS, seed=3
+        ),
+        "KZ payload-count sweep": kz_payload_count_sweep(max_copies=5, seed=1),
+        "KZ payload-size sweep": kz_payload_size_sweep(sizes=(1, 8, 200), seed=1),
+        "KZ GET-prefix sweep": kz_get_prefix_sweep(seed=1),
+        "KZ censor-probing injections": kz_injection_probe(seed=1),
+    }
+
+
+def test_section5_followups(benchmark, save_artifact):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = ["§5 follow-up probes (paper expectations in comments)"]
+    for name, value in results.items():
+        lines.append(f"{name}: {value}")
+    save_artifact("section5_followups.txt", "\n".join(lines))
+
+    # Sequence-decrement probe: ~50% censored with the strategy, never without.
+    assert 0.3 <= results["seq-1 with S1 (censored frac)"] <= 0.7
+    assert results["seq-1 without strategy (censored frac)"] == 0.0
+    # Induced-RST suppression kills S5 but not S6.
+    assert results["S5/ftp with client RST dropped (success)"] <= 0.15
+    assert results["S6/ftp with client RST dropped (success)"] >= 0.35
+    # S7's probe: the GFW synchronized onto the induced RST.
+    assert results["S7 request re-sequenced onto RST (censored frac)"] >= 0.3
+    # Kazakhstan sweeps.
+    assert results["KZ payload-count sweep"] == {
+        1: False, 2: False, 3: True, 4: True, 5: True
+    }
+    assert all(results["KZ payload-size sweep"].values())
+    sweep = results["KZ GET-prefix sweep"]
+    assert sweep["GET / HTTP1."] and not sweep["GET / HTTP1"]
+    probes = results["KZ censor-probing injections"]
+    assert probes["double forbidden GET"]
+    assert probes["sim-open + forbidden GET"]
+    assert not probes["single forbidden GET"]
+    assert not probes["forbidden then benign GET"]

@@ -1,0 +1,39 @@
+"""Benchmark S8 — regenerate §4.2's residual-censorship observations.
+
+HTTP: ~90 seconds of teardown for any new connection to the same server
+IP/port. DNS-over-TCP, FTP, SMTP: no residual censorship — an immediate
+follow-up request succeeds.
+"""
+
+from repro.eval.residual import residual_probe
+
+
+def _run_all():
+    return {
+        ("http", 10.0): residual_probe("http", 10.0, seed=1),
+        ("http", 60.0): residual_probe("http", 60.0, seed=2),
+        ("http", 120.0): residual_probe("http", 120.0, seed=3),
+        ("dns", 1.0): residual_probe("dns", 1.0, seed=4),
+        ("ftp", 1.0): residual_probe("ftp", 1.0, seed=5),
+        ("smtp", 1.0): residual_probe("smtp", 1.0, seed=11),
+    }
+
+
+def test_section5_residual_censorship(benchmark, save_artifact):
+    probes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = ["§4.2 residual censorship (second request = benign follow-up)"]
+    for (protocol, delay), probe in probes.items():
+        lines.append(
+            f"{protocol:<6} delay={delay:>6.1f}s  first={probe.first_outcome:<9}"
+            f" second={probe.second_outcome:<9} evaded={probe.second_succeeded}"
+        )
+    save_artifact("section5_residual.txt", "\n".join(lines))
+
+    # Within the ~90s window HTTP follow-ups are torn down...
+    assert not probes[("http", 10.0)].second_succeeded
+    assert not probes[("http", 60.0)].second_succeeded
+    # ...and succeed once it expires.
+    assert probes[("http", 120.0)].second_succeeded
+    # No residual censorship for the other protocols.
+    for protocol in ("dns", "ftp", "smtp"):
+        assert probes[(protocol, 1.0)].second_succeeded, protocol

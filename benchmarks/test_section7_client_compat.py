@@ -1,0 +1,58 @@
+"""Benchmark S7 — regenerate §7's client-compatibility results.
+
+The 17-OS × strategy matrix (plus the checksum-corrupted compat variants)
+and the wifi / T-Mobile / AT&T network anecdote.
+"""
+
+from repro.eval.client_compat import (
+    EXPECTED_OS_FAILURES,
+    format_os_matrix,
+    run_network_matrix,
+    run_os_matrix,
+)
+from repro.tcpstack import PERSONALITIES
+
+
+def test_section7_os_matrix(benchmark, save_artifact):
+    matrix = benchmark.pedantic(
+        run_os_matrix, kwargs={"seed": 2}, rounds=1, iterations=1
+    )
+    save_artifact("section7_os_matrix.txt", format_os_matrix(matrix))
+
+    # Exactly the paper's failures: Strategies 5, 9, 10 on every Windows
+    # and macOS version; everything else works everywhere.
+    failures = matrix.failures()
+    assert failures, "expected some OS incompatibilities"
+    for number, os_name in failures:
+        family = PERSONALITIES[os_name].family
+        assert (number, family) in EXPECTED_OS_FAILURES, (number, os_name)
+    windows_and_macos = [
+        name for name, p in PERSONALITIES.items() if p.family in ("windows", "macos")
+    ]
+    for number in (5, 9, 10):
+        for os_name in windows_and_macos:
+            assert (number, os_name) in failures, (number, os_name)
+
+    # The insertion-packet fix makes them work on every OS (§7).
+    for (number, os_name), works in matrix.compat_works.items():
+        assert works, (number, os_name)
+
+
+def test_section7_network_matrix(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        run_network_matrix, kwargs={"seed": 2}, rounds=1, iterations=1
+    )
+    lines = ["§7 — network compatibility (Android 10 client, no censor)"]
+    for network, row in results.items():
+        rendered = "  ".join(
+            f"S{number}:{'ok' if ok else 'FAIL'}" for number, ok in sorted(row.items())
+        )
+        lines.append(f"{network:<10} {rendered}")
+    save_artifact("section7_network_matrix.txt", "\n".join(lines))
+
+    assert all(results["wifi"].values())
+    assert not results["t-mobile"][1] and not results["t-mobile"][3]
+    assert results["t-mobile"][2]
+    assert not results["att"][1] and not results["att"][2] and not results["att"][3]
+    for number in (4, 6, 7, 8):
+        assert results["att"][number] and results["t-mobile"][number]

@@ -1,0 +1,36 @@
+"""Benchmark S8b — §8's deployment-overhead claim.
+
+Measures the extra server packets and bytes each strategy adds to a
+censor-free exchange. The paper claims at most three extra payloads; the
+handshake-transforming strategies should add only a handful of small
+packets.
+"""
+
+from repro.eval.overhead import format_overhead, measure_overhead
+
+
+def _measure_all():
+    return {
+        number: measure_overhead(number, protocol="http", seed=1)
+        for number in range(1, 12)
+    }
+
+
+def test_section8_overhead(benchmark, save_artifact):
+    reports = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+    save_artifact("section8_overhead.txt", format_overhead(reports))
+
+    for number, report in reports.items():
+        if number == 8:
+            # Window reduction trades extra ACK round trips for evasion;
+            # still bounded for a single-request exchange.
+            assert report.extra_packets <= 12, report
+            continue
+        # Handshake-transforming strategies: at most 3 extra packets
+        # (Strategies 6, 7 and 9 emit three packets for one SYN+ACK).
+        assert 0 <= report.extra_packets <= 3, (number, report.extra_packets)
+        assert report.extra_bytes <= 400, (number, report.extra_bytes)
+
+    payload_strategies = {5, 9, 10}
+    for number in payload_strategies:
+        assert reports[number].extra_bytes > 0

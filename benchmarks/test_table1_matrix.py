@@ -1,0 +1,17 @@
+"""Benchmark T1 — regenerate Table 1 (censored-protocol matrix).
+
+Probes every (country, protocol) pair with forbidden requests and checks
+the measured censorship matrix against the paper's Table 1.
+"""
+
+from repro.eval.matrix import format_matrix, measure_censorship_matrix
+
+
+def test_table1_matrix(benchmark, save_artifact):
+    entries = benchmark.pedantic(
+        measure_censorship_matrix, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    text = format_matrix(entries)
+    save_artifact("table1_matrix.txt", text)
+    mismatches = [e for e in entries if e.censored != e.expected]
+    assert not mismatches, mismatches

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""§8's deployment story: mid-path strategies and per-client selection.
+
+1. A CDN / reverse-proxy deployment: the strategy runs at a middlebox on
+   the path between the censor and the server (the origin server is
+   completely unmodified).
+2. Per-client selection: a server host picks the right strategy from each
+   client's SYN via IP-prefix geolocation — clients inside censored
+   prefixes get evasion; everyone else gets vanilla TCP.
+
+Usage::
+
+    python examples/deployment.py
+"""
+
+import random
+
+from repro import deployed_strategy
+from repro.deploy import GeoStrategySelector, install_per_client
+from repro.eval import run_trial
+from repro.eval.runner import Trial
+
+
+def mid_path() -> None:
+    print("Strategy 1 at a mid-path proxy (hop 6; censor at hop 3):")
+    wins = 0
+    for i in range(40):
+        result = run_trial(
+            "china", "http", deployed_strategy(1), seed=100 + i, strategy_at_hop=6
+        )
+        wins += result.succeeded
+    print(f"  success: {wins}/40 (same ~54% as a server-side install)")
+
+
+def per_client() -> None:
+    selector = GeoStrategySelector()
+    selector.add_prefix("10.1.0.0/16", "china")
+    selector.add_prefix("10.2.0.0/16", "kazakhstan")
+
+    print("\nPer-client selection at the server (decision from the SYN):")
+    for client_ip, country in [
+        ("10.1.0.2", "china"),
+        ("10.2.0.9", "kazakhstan"),
+        ("203.0.113.5", "uncensored"),
+    ]:
+        trial_country = country if country != "uncensored" else None
+        trial = Trial(trial_country, "http", None, seed=3, client_ip=client_ip)
+        engine = install_per_client(
+            trial.server_host, selector, "http", random.Random(3)
+        )
+        result = trial.run()
+        decision = next(iter(engine.decisions.values()), None)
+        chosen = decision.name if decision is not None else "none"
+        print(
+            f"  client {client_ip:<12} ({country:<11}) strategy={chosen:<12}"
+            f" outcome={result.outcome}"
+        )
+
+
+def main() -> None:
+    mid_path()
+    per_client()
+
+
+if __name__ == "__main__":
+    main()

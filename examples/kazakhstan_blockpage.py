@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Kazakhstan's in-path MITM censor and the four strategies that beat it.
+
+First shows the block-page injection (the forbidden request is intercepted
+and never reaches the server), then runs Strategies 8–11 and renders their
+Figure 2 waterfalls.
+
+Usage::
+
+    python examples/kazakhstan_blockpage.py
+"""
+
+from repro import deployed_strategy, run_trial
+from repro.core import SERVER_STRATEGIES
+from repro.eval.waterfall import render_waterfall
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Censorship: forbidden Host header -> MITM + block page")
+    print("=" * 64)
+    result = run_trial("kazakhstan", "http", None, seed=1)
+    print(render_waterfall(result.trace, title=f"outcome: {result.outcome}"))
+    server_got_request = any(
+        e.kind == "recv" and e.location == "server" and e.packet and e.packet.load
+        for e in result.trace.events
+    )
+    print(f"\nforbidden request reached the server: {server_got_request}")
+
+    for number in (8, 9, 10, 11):
+        record = SERVER_STRATEGIES[number]
+        print()
+        print("=" * 64)
+        print(f"Strategy {number}: {record.name}")
+        print("=" * 64)
+        print(f"strategy string: {record.dsl}")
+        result = run_trial("kazakhstan", "http", deployed_strategy(number), seed=3)
+        print(render_waterfall(result.trace, title=f"outcome: {result.outcome}"))
+
+
+if __name__ == "__main__":
+    main()

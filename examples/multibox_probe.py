@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""§6's multi-box investigation: protocol dependence and TTL localization.
+
+Shows that a strategy manipulating only the TCP handshake succeeds at very
+different rates per application protocol under the GFW model (evidence of
+separate per-protocol censorship boxes), that a single-box ablation erases
+the differences, and that TTL-limited probes locate all five boxes at the
+same hop (colocated).
+
+Usage::
+
+    python examples/multibox_probe.py
+"""
+
+from repro.eval.multibox import (
+    format_dependence,
+    localize_boxes,
+    protocol_dependence,
+    single_box_profiles,
+)
+
+
+def main() -> None:
+    print("Measuring Strategy 7 (pure TCP manipulation) across protocols...")
+    multi = protocol_dependence(strategy_number=7, trials=120, seed=2)
+    single = protocol_dependence(
+        strategy_number=7, trials=120, seed=2, profiles=single_box_profiles("http")
+    )
+    print(format_dependence(multi, single))
+    print(
+        "\nInterpretation: under one shared network stack the success rate\n"
+        "would be uniform; the measured spread is the multi-box fingerprint."
+    )
+
+    print("\nLocating each protocol's censorship box with TTL-limited probes...")
+    hops = localize_boxes(max_ttl=6, seed=1)
+    for protocol, hop in hops.items():
+        print(f"  {protocol:<6} first censoring hop: {hop}")
+    if len(set(hops.values())) == 1:
+        print("all protocols censored at the same hop -> the boxes are colocated")
+
+
+if __name__ == "__main__":
+    main()

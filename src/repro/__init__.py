@@ -1,0 +1,55 @@
+"""repro — a reproduction of "Come as You Are: Helping Unmodified Clients
+Bypass Censorship with Server-side Evasion" (Bock et al., SIGCOMM 2020).
+
+The package implements the paper's full system in simulation:
+
+- :mod:`repro.packets` — from-scratch IPv4/TCP packet model;
+- :mod:`repro.netsim` — deterministic discrete-event network simulator;
+- :mod:`repro.tcpstack` — TCP endpoint state machine with per-OS
+  behaviour profiles (§7's 17 operating systems);
+- :mod:`repro.apps` — DNS-over-TCP, FTP, HTTP, HTTPS and SMTP;
+- :mod:`repro.censors` — the GFW (five per-protocol boxes with
+  resynchronization-state bugs), India/Airtel, Iran, Kazakhstan, and
+  cellular carrier middleboxes;
+- :mod:`repro.core` — Geneva: the strategy DSL, the wire-level engine,
+  the 11 paper strategies, and the genetic algorithm;
+- :mod:`repro.eval` — the experiment harness regenerating every table
+  and figure.
+
+Quickstart::
+
+    from repro import run_trial, deployed_strategy
+
+    result = run_trial("china", "http", deployed_strategy(1), seed=1)
+    assert result.succeeded  # ~54% of seeds, per Table 2
+"""
+
+from .core import (
+    NO_EVASION,
+    SERVER_STRATEGIES,
+    Strategy,
+    StrategyEngine,
+    compat_strategy,
+    deployed_strategy,
+    install_strategy,
+    strategy,
+)
+from .eval import Trial, TrialResult, run_trial, success_rate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NO_EVASION",
+    "SERVER_STRATEGIES",
+    "Strategy",
+    "StrategyEngine",
+    "Trial",
+    "TrialResult",
+    "__version__",
+    "compat_strategy",
+    "deployed_strategy",
+    "install_strategy",
+    "run_trial",
+    "strategy",
+    "success_rate",
+]

@@ -1,0 +1,65 @@
+"""Application protocols used in the paper's experiments.
+
+One client/server pair per protocol: HTTP, HTTPS (simplified TLS with a
+real SNI wire encoding), DNS-over-TCP (real RFC 1035 encoding with
+RFC 7766 retries), FTP (control channel), and SMTP. Clients report a
+terminal outcome implementing the paper's success criterion: the
+connection survives and the correct, unaltered data arrives.
+"""
+
+from .base import (
+    OUTCOME_BLOCKPAGE,
+    OUTCOME_GARBLED,
+    OUTCOME_RESET,
+    OUTCOME_SUCCESS,
+    OUTCOME_TIMEOUT,
+    BaseClient,
+    BaseServer,
+)
+from .dns import (
+    DEFAULT_TRIES,
+    DNSAttempt,
+    DNSClient,
+    DNSServer,
+    build_query,
+    build_response,
+    parse_query_name,
+)
+from .ftp import FTPClient, FTPServer, expected_ftp_banner
+from .http import BLOCK_PAGE_MARKER, HTTPClient, HTTPServer, expected_http_body
+from .https import HTTPSClient, HTTPSServer
+from .smtp import FORBIDDEN_ADDRESS, SMTPClient, SMTPServer, expected_smtp_receipt
+from .tls import build_client_hello, expected_tls_payload, parse_sni
+
+__all__ = [
+    "BLOCK_PAGE_MARKER",
+    "BaseClient",
+    "BaseServer",
+    "DEFAULT_TRIES",
+    "DNSAttempt",
+    "DNSClient",
+    "DNSServer",
+    "FORBIDDEN_ADDRESS",
+    "FTPClient",
+    "FTPServer",
+    "HTTPClient",
+    "HTTPSClient",
+    "HTTPSServer",
+    "HTTPServer",
+    "OUTCOME_BLOCKPAGE",
+    "OUTCOME_GARBLED",
+    "OUTCOME_RESET",
+    "OUTCOME_SUCCESS",
+    "OUTCOME_TIMEOUT",
+    "SMTPClient",
+    "SMTPServer",
+    "build_client_hello",
+    "build_query",
+    "build_response",
+    "expected_ftp_banner",
+    "expected_http_body",
+    "expected_smtp_receipt",
+    "expected_tls_payload",
+    "parse_query_name",
+    "parse_sni",
+]

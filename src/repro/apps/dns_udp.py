@@ -1,0 +1,129 @@
+"""DNS over UDP: the transport the GFW poisons with forged responses.
+
+A stub resolver accepts the first syntactically valid answer to its query
+— so an on-path censor that races a forged ("lemon") response wins every
+time (§2.1 background). The client here detects poisoning by comparing
+the answered address with the server's true answer, which is how the
+reproduction measures UDP DNS censorship and motivates the paper's
+DNS-over-TCP workload.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Optional
+
+from ..packets import Packet
+from ..tcpstack import Host
+from .base import OUTCOME_GARBLED, OUTCOME_SUCCESS, OUTCOME_TIMEOUT
+from .dns import build_query, build_response, parse_answer_address, parse_query_name
+
+__all__ = ["DNSOverUDPClient", "DNSOverUDPServer", "OUTCOME_POISONED", "TRUE_ADDRESS"]
+
+#: Extra client outcome: the resolver accepted a forged answer.
+OUTCOME_POISONED = "poisoned"
+
+#: The address the genuine server answers with.
+TRUE_ADDRESS = "93.184.216.34"
+
+
+class DNSOverUDPClient:
+    """A stub resolver: one UDP query, first valid answer wins."""
+
+    protocol = "dns-udp"
+
+    def __init__(
+        self,
+        host: Host,
+        server_ip: str,
+        server_port: int = 53,
+        qname: str = "example.com",
+        timeout: float = 4.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.qname = qname
+        self.timeout = timeout
+        self.rng = rng or host.rng
+        self.txid = self.rng.randrange(1, 0x10000)
+        self.outcome: Optional[str] = None
+        self.answer: Optional[str] = None
+        self.on_complete: Optional[Callable[[str], None]] = None
+        self._sport: Optional[int] = None
+        self._timer = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether a terminal outcome has been reached."""
+        return self.outcome is not None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the genuine answer was received (and not a forgery)."""
+        return self.outcome == OUTCOME_SUCCESS
+
+    def start(self) -> None:
+        """Send the query and wait for the first answer."""
+        self._sport = self.host.new_port()
+        self.host.udp_bind(self._sport, self._on_datagram)
+        query = build_query(self.qname, self.txid)[2:]  # no length prefix on UDP
+        self.host.send_udp(self.server_ip, self.server_port, query, sport=self._sport)
+        self._timer = self.host.scheduler.schedule(self.timeout, self._on_timeout)
+
+    def _on_datagram(self, packet: Packet) -> None:
+        if self.finished:
+            return  # first answer already accepted — the stub behaviour
+        framed = len(packet.load).to_bytes(2, "big") + packet.load
+        if len(packet.load) < 2:
+            return
+        txid = struct.unpack("!H", packet.load[:2])[0]
+        if txid != self.txid:
+            return  # not an answer to our query
+        self.answer = parse_answer_address(framed)
+        if self.answer is None:
+            self._finish(OUTCOME_GARBLED)
+        elif self.answer == TRUE_ADDRESS:
+            self._finish(OUTCOME_SUCCESS)
+        else:
+            self._finish(OUTCOME_POISONED)
+
+    def _on_timeout(self) -> None:
+        self._finish(OUTCOME_TIMEOUT)
+
+    def _finish(self, outcome: str) -> None:
+        if self.finished:
+            return
+        self.outcome = outcome
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self.on_complete:
+            self.on_complete(outcome)
+
+
+class DNSOverUDPServer:
+    """A genuine resolver answering every query with :data:`TRUE_ADDRESS`."""
+
+    protocol = "dns-udp"
+
+    def __init__(self, host: Host, port: int = 53) -> None:
+        self.host = host
+        self.port = port
+        self.queries_answered = 0
+
+    def install(self) -> None:
+        """Start answering queries on the bound port."""
+        self.host.udp_bind(self.port, self._on_datagram)
+
+    def _on_datagram(self, packet: Packet) -> None:
+        framed = len(packet.load).to_bytes(2, "big") + packet.load
+        qname = parse_query_name(framed)
+        if qname is None or len(packet.load) < 2:
+            return
+        txid = struct.unpack("!H", packet.load[:2])[0]
+        response = build_response(qname, txid, address=TRUE_ADDRESS)[2:]
+        self.queries_answered += 1
+        self.host.send_udp(packet.src, packet.sport, response, sport=self.port)

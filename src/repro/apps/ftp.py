@@ -1,0 +1,121 @@
+"""FTP control-channel client and server.
+
+Reproduces the paper's FTP workload: the client signs into an
+FTP server and issues a ``RETR`` for a file whose name contains a
+sensitive keyword (e.g. ``ultrasurf``), which is what triggers the GFW's
+FTP censorship box. Only the control channel is modelled — the censored
+keyword rides in the ``RETR`` command itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..tcpstack import Host, TCPEndpoint
+from .base import OUTCOME_GARBLED, OUTCOME_SUCCESS, BaseClient, BaseServer
+
+__all__ = ["FTPClient", "FTPServer", "expected_ftp_banner"]
+
+
+def expected_ftp_banner(filename: str) -> str:
+    """Deterministic completion line the real server sends for a RETR."""
+    digest = hashlib.sha256(filename.encode()).hexdigest()[:16]
+    return f"226 Transfer complete {digest}"
+
+
+class FTPClient(BaseClient):
+    """Signs in and retrieves one (sensitively-named) file."""
+
+    protocol = "ftp"
+
+    def __init__(
+        self,
+        host: Host,
+        server_ip: str,
+        server_port: int = 21,
+        filename: str = "ultrasurf.txt",
+        timeout: float = 8.0,
+    ) -> None:
+        super().__init__(host, server_ip, server_port, timeout)
+        self.filename = filename
+        self._consumed = 0
+
+    def request_bytes(self) -> bytes:
+        """The censored command of this exchange (the RETR line)."""
+        return f"RETR {self.filename}\r\n".encode()
+
+    def _on_established(self) -> None:
+        pass  # FTP servers speak first (220 banner).
+
+    def _on_bytes(self) -> None:
+        for line in self._new_lines():
+            code = line[:3]
+            if code == "220":
+                self._send(b"USER anonymous\r\n")
+            elif code == "331":
+                self._send(b"PASS guest\r\n")
+            elif code == "230":
+                self._send(self.request_bytes())
+            elif code == "150":
+                continue  # transfer starting
+            elif code == "226":
+                if line == expected_ftp_banner(self.filename):
+                    self._finish(OUTCOME_SUCCESS)
+                else:
+                    self._finish(OUTCOME_GARBLED, "transfer banner mismatch")
+            else:
+                self._finish(OUTCOME_GARBLED, f"unexpected reply {line!r}")
+
+    def _new_lines(self):
+        raw = bytes(self.buffer)
+        while not self.finished:
+            end = raw.find(b"\r\n", self._consumed)
+            if end < 0:
+                return
+            line = raw[self._consumed : end].decode("latin-1", "replace")
+            self._consumed = end + 2
+            yield line
+
+
+class FTPServer(BaseServer):
+    """Control-channel-only FTP server accepting anonymous sign-in."""
+
+    protocol = "ftp"
+
+    def _on_connection(self, endpoint: TCPEndpoint) -> None:
+        state = {"buffer": bytearray(), "consumed": 0, "authed": False}
+        endpoint.send(b"220 repro FTP server ready\r\n")
+
+        def on_data(data: bytes) -> None:
+            state["buffer"].extend(data)
+            raw = bytes(state["buffer"])
+            while True:
+                end = raw.find(b"\r\n", state["consumed"])
+                if end < 0:
+                    return
+                line = raw[state["consumed"] : end].decode("latin-1", "replace")
+                state["consumed"] = end + 2
+                _handle(line)
+
+        def _handle(line: str) -> None:
+            verb, _, arg = line.partition(" ")
+            verb = verb.upper()
+            if verb == "USER":
+                endpoint.send(b"331 Password required\r\n")
+            elif verb == "PASS":
+                state["authed"] = True
+                endpoint.send(b"230 Login successful\r\n")
+            elif verb == "RETR":
+                if not state["authed"]:
+                    endpoint.send(b"530 Not logged in\r\n")
+                    return
+                endpoint.send(b"150 Opening data connection\r\n")
+                endpoint.send(expected_ftp_banner(arg).encode() + b"\r\n")
+                endpoint.close()
+            elif verb == "QUIT":
+                endpoint.send(b"221 Goodbye\r\n")
+                endpoint.close()
+            else:
+                endpoint.send(b"502 Command not implemented\r\n")
+
+        endpoint.on_data = on_data

@@ -1,0 +1,150 @@
+"""HTTP/1.1 client and server.
+
+Models the paper's HTTP workloads: in China the censored keyword rides in
+the URL query parameters (``GET /?q=ultrasurf``); in India, Iran and
+Kazakhstan it is a forbidden domain in the ``Host:`` header. The server
+returns a deterministic body derived from the request so the client can
+verify it received *correct, unaltered* data — the paper's success
+criterion — and therefore detect injected block pages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from ..tcpstack import Host, TCPEndpoint
+from .base import (
+    OUTCOME_BLOCKPAGE,
+    OUTCOME_GARBLED,
+    OUTCOME_SUCCESS,
+    BaseClient,
+    BaseServer,
+)
+
+__all__ = ["HTTPClient", "HTTPServer", "expected_http_body", "BLOCK_PAGE_MARKER"]
+
+#: Marker string censors place in injected block pages.
+BLOCK_PAGE_MARKER = "This page has been blocked"
+
+
+def expected_http_body(path: str, host_header: str) -> bytes:
+    """The deterministic body the real server returns for a request.
+
+    Using a digest of the request keeps bodies unique per request, so any
+    censor-injected or corrupted content fails validation.
+    """
+    digest = hashlib.sha256(f"{host_header}{path}".encode()).hexdigest()[:24]
+    return f"<html><body>ok:{digest}</body></html>".encode()
+
+
+class HTTPClient(BaseClient):
+    """Issues one HTTP GET and validates the response body."""
+
+    protocol = "http"
+
+    def __init__(
+        self,
+        host: Host,
+        server_ip: str,
+        server_port: int = 80,
+        path: str = "/",
+        host_header: str = "example.com",
+        timeout: float = 8.0,
+    ) -> None:
+        super().__init__(host, server_ip, server_port, timeout)
+        self.path = path
+        self.host_header = host_header
+
+    def request_bytes(self) -> bytes:
+        """The full request as sent on the wire."""
+        return (
+            f"GET {self.path} HTTP/1.1\r\n"
+            f"Host: {self.host_header}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+
+    def _on_established(self) -> None:
+        self._send(self.request_bytes())
+
+    def _on_bytes(self) -> None:
+        data = bytes(self.buffer)
+        if b"\r\n\r\n" not in data:
+            return
+        head, _, body = data.partition(b"\r\n\r\n")
+        content_length = _content_length(head)
+        if content_length is not None and len(body) < content_length:
+            return
+        self._validate(head, body)
+
+    def _validate(self, head: bytes, body: bytes) -> None:
+        if BLOCK_PAGE_MARKER.encode() in body:
+            self._finish(OUTCOME_BLOCKPAGE, "censor block page received")
+            return
+        expected = expected_http_body(self.path, self.host_header)
+        if head.startswith(b"HTTP/1.1 200") and body == expected:
+            self._finish(OUTCOME_SUCCESS)
+        else:
+            self._finish(OUTCOME_GARBLED, "response failed validation")
+
+    def _on_peer_closed(self) -> None:
+        data = bytes(self.buffer)
+        if b"\r\n\r\n" in data:
+            head, _, body = data.partition(b"\r\n\r\n")
+            self._validate(head, body)
+        if not self.finished:
+            self._finish(OUTCOME_GARBLED, "closed before response")
+
+
+class HTTPServer(BaseServer):
+    """Minimal HTTP/1.1 server returning deterministic bodies."""
+
+    protocol = "http"
+
+    def _on_connection(self, endpoint: TCPEndpoint) -> None:
+        state = {"buffer": bytearray(), "answered": False}
+
+        def on_data(data: bytes) -> None:
+            if state["answered"]:
+                return
+            state["buffer"].extend(data)
+            raw = bytes(state["buffer"])
+            if b"\r\n\r\n" not in raw:
+                return
+            state["answered"] = True
+            head = raw.split(b"\r\n\r\n", 1)[0]
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+            parts = request_line.split(" ")
+            path = parts[1] if len(parts) >= 2 else "/"
+            host_header = _header_value(head, b"host") or ""
+            body = expected_http_body(path, host_header)
+            response = (
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/html\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            endpoint.send(response)
+            endpoint.close()
+
+        endpoint.on_data = on_data
+
+
+def _content_length(head: bytes) -> Optional[int]:
+    value = _header_value(head, b"content-length")
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return None
+
+
+def _header_value(head: bytes, name: bytes) -> Optional[str]:
+    for line in head.split(b"\r\n")[1:]:
+        if b":" not in line:
+            continue
+        key, _, value = line.partition(b":")
+        if key.strip().lower() == name:
+            return value.strip().decode("latin-1", "replace")
+    return None

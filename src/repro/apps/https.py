@@ -1,0 +1,115 @@
+"""HTTPS client and server over the simplified TLS layer.
+
+The censored trigger is the hostname in the ClientHello's SNI field
+(e.g. ``www.wikipedia.org`` in China, ``youtube.com`` in Iran). The client
+validates the full expected transcript — ServerHello followed by the
+deterministic application payload — so hijacked or corrupted exchanges
+fail validation.
+"""
+
+from __future__ import annotations
+
+from ..tcpstack import Host, TCPEndpoint
+from .base import OUTCOME_GARBLED, OUTCOME_SUCCESS, BaseClient, BaseServer
+from .tls import (
+    RECORD_APPDATA,
+    RECORD_HANDSHAKE,
+    build_application_data,
+    build_client_hello,
+    build_server_hello,
+    expected_tls_payload,
+    parse_esni,
+    parse_sni,
+)
+
+__all__ = ["HTTPSClient", "HTTPSServer"]
+
+
+class HTTPSClient(BaseClient):
+    """Performs a TLS exchange with a given SNI and validates the payload."""
+
+    protocol = "https"
+
+    def __init__(
+        self,
+        host: Host,
+        server_ip: str,
+        server_port: int = 443,
+        server_name: str = "example.com",
+        timeout: float = 8.0,
+        encrypted_sni: bool = False,
+    ) -> None:
+        super().__init__(host, server_ip, server_port, timeout)
+        self.server_name = server_name
+        self.encrypted_sni = encrypted_sni
+
+    def request_bytes(self) -> bytes:
+        """The ClientHello as sent on the wire."""
+        return build_client_hello(
+            self.server_name, self.host.rng, encrypted_sni=self.encrypted_sni
+        )
+
+    def _on_established(self) -> None:
+        self._send(self.request_bytes())
+
+    def _on_bytes(self) -> None:
+        records = _split_records(bytes(self.buffer))
+        if records is None:
+            return  # still incomplete
+        saw_server_hello = any(rtype == RECORD_HANDSHAKE for rtype, _ in records)
+        payload = b"".join(body for rtype, body in records if rtype == RECORD_APPDATA)
+        if not payload:
+            return
+        if saw_server_hello and payload == expected_tls_payload(self.server_name):
+            self._finish(OUTCOME_SUCCESS)
+        else:
+            self._finish(OUTCOME_GARBLED, "TLS transcript failed validation")
+
+
+class HTTPSServer(BaseServer):
+    """Answers ClientHellos with a ServerHello and deterministic payload."""
+
+    protocol = "https"
+
+    def _on_connection(self, endpoint: TCPEndpoint) -> None:
+        state = {"buffer": bytearray(), "answered": False}
+
+        def on_data(data: bytes) -> None:
+            if state["answered"]:
+                return
+            state["buffer"].extend(data)
+            raw = bytes(state["buffer"])
+            records = _split_records(raw)
+            if records is None:
+                return
+            sni = parse_sni(raw)
+            if sni is None:
+                sni = parse_esni(raw)  # the server shares the ESNI secret
+            if sni is None:
+                return
+            state["answered"] = True
+            endpoint.send(build_server_hello(sni, self.host.rng))
+            endpoint.send(build_application_data(expected_tls_payload(sni)))
+            endpoint.close()
+
+        endpoint.on_data = on_data
+
+
+def _split_records(data: bytes):
+    """Split a byte stream into complete TLS records.
+
+    Returns ``None`` while the final record is still incomplete, otherwise
+    a list of ``(record_type, body)`` tuples.
+    """
+    records = []
+    pos = 0
+    while pos < len(data):
+        if pos + 5 > len(data):
+            return None
+        rtype = data[pos]
+        length = int.from_bytes(data[pos + 3 : pos + 5], "big")
+        if pos + 5 + length > len(data):
+            return None
+        records.append((rtype, data[pos + 5 : pos + 5 + length]))
+        pos += 5 + length
+    return records

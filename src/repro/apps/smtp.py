@@ -1,0 +1,139 @@
+"""SMTP client and server.
+
+Reproduces the paper's SMTP workload: an unmodified client sends an email
+to a forbidden address (``xiazai@upup.info``, the address the GFW is known
+to censor). The censored keyword rides in the ``RCPT TO`` command.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..tcpstack import Host, TCPEndpoint
+from .base import OUTCOME_GARBLED, OUTCOME_SUCCESS, BaseClient, BaseServer
+
+__all__ = ["SMTPClient", "SMTPServer", "expected_smtp_receipt", "FORBIDDEN_ADDRESS"]
+
+#: The censored recipient from the paper's methodology (§4.2).
+FORBIDDEN_ADDRESS = "xiazai@upup.info"
+
+
+def expected_smtp_receipt(recipient: str) -> str:
+    """Deterministic queue id the real server returns after DATA."""
+    digest = hashlib.sha256(recipient.encode()).hexdigest()[:16]
+    return f"250 OK queued as {digest}"
+
+
+class SMTPClient(BaseClient):
+    """Delivers one message to a (possibly forbidden) recipient."""
+
+    protocol = "smtp"
+
+    def __init__(
+        self,
+        host: Host,
+        server_ip: str,
+        server_port: int = 25,
+        recipient: str = FORBIDDEN_ADDRESS,
+        timeout: float = 8.0,
+    ) -> None:
+        super().__init__(host, server_ip, server_port, timeout)
+        self.recipient = recipient
+        self._consumed = 0
+        self._stage = "greeting"
+
+    def request_bytes(self) -> bytes:
+        """The censored command of this exchange (the RCPT line)."""
+        return f"RCPT TO:<{self.recipient}>\r\n".encode()
+
+    def _on_established(self) -> None:
+        pass  # SMTP servers speak first (220 greeting).
+
+    def _on_bytes(self) -> None:
+        for line in self._new_lines():
+            code = line[:3]
+            if self._stage == "greeting" and code == "220":
+                self._send(b"HELO client.example\r\n")
+                self._stage = "helo"
+            elif self._stage == "helo" and code == "250":
+                self._send(b"MAIL FROM:<sender@example.com>\r\n")
+                self._stage = "mail"
+            elif self._stage == "mail" and code == "250":
+                self._send(self.request_bytes())
+                self._stage = "rcpt"
+            elif self._stage == "rcpt" and code == "250":
+                self._send(b"DATA\r\n")
+                self._stage = "data"
+            elif self._stage == "data" and code == "354":
+                self._send(b"Subject: hello\r\n\r\nmessage body\r\n.\r\n")
+                self._stage = "sent"
+            elif self._stage == "sent" and code == "250":
+                if line == expected_smtp_receipt(self.recipient):
+                    self._finish(OUTCOME_SUCCESS)
+                else:
+                    self._finish(OUTCOME_GARBLED, "receipt mismatch")
+            else:
+                self._finish(OUTCOME_GARBLED, f"unexpected reply {line!r}")
+
+    def _new_lines(self):
+        raw = bytes(self.buffer)
+        while not self.finished:
+            end = raw.find(b"\r\n", self._consumed)
+            if end < 0:
+                return
+            line = raw[self._consumed : end].decode("latin-1", "replace")
+            self._consumed = end + 2
+            yield line
+
+
+class SMTPServer(BaseServer):
+    """Minimal SMTP server that accepts one message."""
+
+    protocol = "smtp"
+
+    def _on_connection(self, endpoint: TCPEndpoint) -> None:
+        state = {
+            "buffer": bytearray(),
+            "consumed": 0,
+            "in_data": False,
+            "recipient": "",
+        }
+        endpoint.send(b"220 repro SMTP service ready\r\n")
+
+        def on_data(data: bytes) -> None:
+            state["buffer"].extend(data)
+            raw = bytes(state["buffer"])
+            while True:
+                end = raw.find(b"\r\n", state["consumed"])
+                if end < 0:
+                    return
+                line = raw[state["consumed"] : end].decode("latin-1", "replace")
+                state["consumed"] = end + 2
+                _handle(line)
+
+        def _handle(line: str) -> None:
+            if state["in_data"]:
+                if line == ".":
+                    state["in_data"] = False
+                    receipt = expected_smtp_receipt(state["recipient"])
+                    endpoint.send(receipt.encode() + b"\r\n")
+                    endpoint.close()
+                return
+            verb = line.split(":")[0].split(" ")[0].upper()
+            if verb == "HELO" or verb == "EHLO":
+                endpoint.send(b"250 repro greets you\r\n")
+            elif verb == "MAIL":
+                endpoint.send(b"250 OK\r\n")
+            elif verb == "RCPT":
+                state["recipient"] = line.partition(":")[2].strip().strip("<>")
+                endpoint.send(b"250 OK\r\n")
+            elif verb == "DATA":
+                state["in_data"] = True
+                endpoint.send(b"354 End data with <CR><LF>.<CR><LF>\r\n")
+            elif verb == "QUIT":
+                endpoint.send(b"221 Bye\r\n")
+                endpoint.close()
+            else:
+                endpoint.send(b"502 Command not implemented\r\n")
+
+        endpoint.on_data = on_data

@@ -1,0 +1,206 @@
+"""Minimal TLS record construction and SNI parsing.
+
+Implements just enough of the TLS 1.2 wire format to reproduce HTTPS
+censorship: a structurally valid ClientHello carrying a real Server Name
+Indication extension (what the GFW and Iran's DPI match on), a ServerHello
+response, and application-data records. Both the censors' SNI extraction
+and the client's response validation parse these bytes for real.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from typing import Optional
+
+__all__ = [
+    "build_client_hello",
+    "build_server_hello",
+    "build_application_data",
+    "parse_sni",
+    "parse_esni",
+    "expected_tls_payload",
+    "RECORD_HANDSHAKE",
+    "RECORD_APPDATA",
+    "EXT_ENCRYPTED_SNI",
+    "EXT_SERVER_NAME",
+]
+
+RECORD_HANDSHAKE = 0x16
+RECORD_APPDATA = 0x17
+_TLS_VERSION = b"\x03\x03"
+
+HANDSHAKE_CLIENT_HELLO = 1
+HANDSHAKE_SERVER_HELLO = 2
+
+_DEFAULT_CIPHERS = [0x1301, 0x1302, 0xC02F, 0xC030, 0x009E]
+
+EXT_SERVER_NAME = 0
+#: The (draft) encrypted-SNI extension type. §9 of the paper lists wider
+#: ESNI deployment among the evasion techniques regularly rolled out
+#: without user participation; a hello carrying ESNI instead of SNI gives
+#: DPI nothing to match.
+EXT_ENCRYPTED_SNI = 0xFFCE
+
+
+def _record(record_type: int, body: bytes) -> bytes:
+    return struct.pack("!B2sH", record_type, _TLS_VERSION, len(body)) + body
+
+
+def _handshake(handshake_type: int, body: bytes) -> bytes:
+    length = struct.pack("!I", len(body))[1:]
+    return struct.pack("!B", handshake_type) + length + body
+
+
+def build_client_hello(
+    server_name: str,
+    rng: Optional[random.Random] = None,
+    encrypted_sni: bool = False,
+) -> bytes:
+    """Build a TLS ClientHello record.
+
+    With ``encrypted_sni=True`` the hostname is carried in an (opaque)
+    ESNI extension instead of plaintext SNI, so on-path DPI has nothing
+    to match — modelling the deployment §9 cites.
+    """
+    rng = rng or random.Random(0)
+    client_random = bytes(rng.getrandbits(8) for _ in range(32))
+    ciphers = b"".join(struct.pack("!H", c) for c in _DEFAULT_CIPHERS)
+    name = server_name.encode("idna") if server_name else b""
+    if encrypted_sni:
+        # Opaque blob: name XOR-masked with the hello random (a stand-in
+        # for the real ESNI encryption; DPI sees only ciphertext).
+        blob = bytes(b ^ client_random[i % 32] for i, b in enumerate(name))
+        esni_body = struct.pack("!H", len(blob)) + blob
+        sni_ext = struct.pack("!HH", EXT_ENCRYPTED_SNI, len(esni_body)) + esni_body
+    else:
+        sni_entry = struct.pack("!BH", 0, len(name)) + name
+        sni_list = struct.pack("!H", len(sni_entry)) + sni_entry
+        sni_ext = struct.pack("!HH", EXT_SERVER_NAME, len(sni_list)) + sni_list
+    extensions = struct.pack("!H", len(sni_ext)) + sni_ext
+    body = (
+        _TLS_VERSION
+        + client_random
+        + b"\x00"  # empty session id
+        + struct.pack("!H", len(ciphers))
+        + ciphers
+        + b"\x01\x00"  # null compression only
+        + extensions
+    )
+    return _record(RECORD_HANDSHAKE, _handshake(HANDSHAKE_CLIENT_HELLO, body))
+
+
+def build_server_hello(server_name: str, rng: Optional[random.Random] = None) -> bytes:
+    """Build a ServerHello record (deterministic apart from ``rng``)."""
+    rng = rng or random.Random(1)
+    server_random = bytes(rng.getrandbits(8) for _ in range(32))
+    body = (
+        _TLS_VERSION
+        + server_random
+        + b"\x00"
+        + struct.pack("!H", _DEFAULT_CIPHERS[0])
+        + b"\x00"
+    )
+    return _record(RECORD_HANDSHAKE, _handshake(HANDSHAKE_SERVER_HELLO, body))
+
+
+def build_application_data(payload: bytes) -> bytes:
+    """Wrap ``payload`` in an application-data record."""
+    return _record(RECORD_APPDATA, payload)
+
+
+def expected_tls_payload(server_name: str) -> bytes:
+    """Deterministic application payload the real server returns for a name."""
+    digest = hashlib.sha256(server_name.encode()).hexdigest()[:24]
+    return f"tls-content:{digest}".encode()
+
+
+def _client_hello_parts(data: bytes):
+    """Yield (random, ext_type, ext_body) triples from a ClientHello.
+
+    Returns ``None`` (not an iterator) when the bytes are not a complete,
+    well-formed ClientHello.
+    """
+    if len(data) < 5 or data[0] != RECORD_HANDSHAKE:
+        return None
+    record_len = struct.unpack("!H", data[3:5])[0]
+    body = data[5 : 5 + record_len]
+    if len(body) < 4 or body[0] != HANDSHAKE_CLIENT_HELLO:
+        return None
+    hs_len = struct.unpack("!I", b"\x00" + body[1:4])[0]
+    hello = body[4 : 4 + hs_len]
+    if len(hello) < hs_len:
+        return None  # truncated: only part of the hello was seen
+    client_random = hello[2 : 2 + 32]
+    pos = 2 + 32
+    session_len = hello[pos]
+    pos += 1 + session_len
+    cipher_len = struct.unpack("!H", hello[pos : pos + 2])[0]
+    pos += 2 + cipher_len
+    comp_len = hello[pos]
+    pos += 1 + comp_len
+    ext_total = struct.unpack("!H", hello[pos : pos + 2])[0]
+    pos += 2
+    end = pos + ext_total
+    parts = []
+    while pos + 4 <= end:
+        ext_type, ext_len = struct.unpack("!HH", hello[pos : pos + 4])
+        pos += 4
+        parts.append((client_random, ext_type, hello[pos : pos + ext_len]))
+        pos += ext_len
+    return parts
+
+
+def parse_sni(data: bytes) -> Optional[str]:
+    """Extract the plaintext SNI hostname from a (possibly partial) hello.
+
+    This is the parser censors run. Returns ``None`` when the bytes are
+    not a well-formed ClientHello containing a complete SNI extension —
+    which happens both when the hello is split across TCP segments (and
+    the censor cannot reassemble) and when the name rides in the
+    encrypted-SNI extension instead.
+    """
+    try:
+        parts = _client_hello_parts(data)
+        if parts is None:
+            return None
+        for _, ext_type, ext_body in parts:
+            if ext_type != EXT_SERVER_NAME:
+                continue
+            if len(ext_body) < 5:
+                return None
+            name_len = struct.unpack("!H", ext_body[3:5])[0]
+            name = ext_body[5 : 5 + name_len]
+            if len(name) < name_len:
+                return None
+            return name.decode("idna")
+        return None
+    except (struct.error, IndexError, UnicodeError):
+        return None
+
+
+def parse_esni(data: bytes) -> Optional[str]:
+    """Recover the hostname from the encrypted-SNI extension.
+
+    Only the *server* can do this (it shares the masking secret — here,
+    the hello random as a stand-in); censors see opaque bytes.
+    """
+    try:
+        parts = _client_hello_parts(data)
+        if parts is None:
+            return None
+        for client_random, ext_type, ext_body in parts:
+            if ext_type != EXT_ENCRYPTED_SNI:
+                continue
+            if len(ext_body) < 2:
+                return None
+            blob_len = struct.unpack("!H", ext_body[:2])[0]
+            blob = ext_body[2 : 2 + blob_len]
+            if len(blob) < blob_len:
+                return None
+            name = bytes(b ^ client_random[i % 32] for i, b in enumerate(blob))
+            return name.decode("idna")
+        return None
+    except (struct.error, IndexError, UnicodeError):
+        return None

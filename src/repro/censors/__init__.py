@@ -1,0 +1,61 @@
+"""Censor models: China's GFW, India's Airtel, Iran, Kazakhstan, carriers.
+
+Each censor is a :class:`~repro.netsim.Middlebox` implementing the
+behaviour the paper reverse-engineered. See each module's docstring for
+the paper sections the behaviour comes from, and
+:mod:`repro.censors.gfw.profiles` for the calibration constants.
+"""
+
+from .base import Censor, client_oriented_key, flow_key
+from .carrier import CarrierNATBox, att_box, tmobile_box, wifi_box
+from .dpi import (
+    looks_like_http_get,
+    match_dns,
+    match_ftp,
+    match_http,
+    match_https,
+    match_smtp,
+)
+from .gfw import CHINA_PROFILES, BoxProfile, GreatFirewall, ProtocolBox
+from .india import AirtelCensor, build_block_page
+from .iran import BLACKHOLE_DURATION, IranCensor
+from .kazakhstan import MITM_DURATION, PAYLOAD_IGNORE_THRESHOLD, KazakhstanCensor
+from .keywords import (
+    CHINA_KEYWORDS,
+    INDIA_KEYWORDS,
+    IRAN_KEYWORDS,
+    KAZAKHSTAN_KEYWORDS,
+    KeywordSet,
+)
+
+__all__ = [
+    "AirtelCensor",
+    "BLACKHOLE_DURATION",
+    "BoxProfile",
+    "CHINA_KEYWORDS",
+    "CHINA_PROFILES",
+    "CarrierNATBox",
+    "Censor",
+    "GreatFirewall",
+    "INDIA_KEYWORDS",
+    "IRAN_KEYWORDS",
+    "IranCensor",
+    "KAZAKHSTAN_KEYWORDS",
+    "KazakhstanCensor",
+    "KeywordSet",
+    "MITM_DURATION",
+    "PAYLOAD_IGNORE_THRESHOLD",
+    "ProtocolBox",
+    "att_box",
+    "build_block_page",
+    "client_oriented_key",
+    "flow_key",
+    "looks_like_http_get",
+    "match_dns",
+    "match_ftp",
+    "match_http",
+    "match_https",
+    "match_smtp",
+    "tmobile_box",
+    "wifi_box",
+]

@@ -1,0 +1,93 @@
+"""Shared censor plumbing: flow keys, injection helpers, event counting.
+
+All censors are :class:`~repro.netsim.Middlebox` subclasses. On-path
+censors (GFW, India) forward everything and inject; in-path censors
+(Iran's blackholing, Kazakhstan's MITM) may also drop.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..netsim import DIRECTION_C2S, Middlebox, PathContext
+from ..packets import Packet, make_tcp_packet
+
+__all__ = ["Censor", "flow_key", "client_oriented_key"]
+
+FlowKey = Tuple[str, int, str, int]
+
+
+def flow_key(packet: Packet) -> FlowKey:
+    """Undirected flow key (canonical ordering of the two endpoints)."""
+    a = (packet.src, packet.sport)
+    b = (packet.dst, packet.dport)
+    first, second = (a, b) if a <= b else (b, a)
+    return (first[0], first[1], second[0], second[1])
+
+
+def client_oriented_key(client_ip: str, client_port: int, server_ip: str, server_port: int) -> FlowKey:
+    """Flow key from explicit client/server endpoints."""
+    a = (client_ip, client_port)
+    b = (server_ip, server_port)
+    first, second = (a, b) if a <= b else (b, a)
+    return (first[0], first[1], second[0], second[1])
+
+
+class Censor(Middlebox):
+    """Base class for censor middleboxes.
+
+    Attributes:
+        censorship_events: Count of censorship actions taken this trial.
+    """
+
+    name = "censor"
+
+    def __init__(self) -> None:
+        self.censorship_events = 0
+
+    # ------------------------------------------------------------------
+    # Injection helpers
+
+    def inject_rst_pair(
+        self,
+        ctx: PathContext,
+        client_ip: str,
+        client_port: int,
+        server_ip: str,
+        server_port: int,
+        seq_to_client: int,
+        seq_to_server: int,
+        ack_to_client: int = 0,
+        ack_to_server: int = 0,
+    ) -> None:
+        """Inject teardown RSTs to both endpoints (on-path censorship)."""
+        to_client = make_tcp_packet(
+            src=server_ip,
+            dst=client_ip,
+            sport=server_port,
+            dport=client_port,
+            flags="RA",
+            seq=seq_to_client,
+            ack=ack_to_client,
+        )
+        to_server = make_tcp_packet(
+            src=client_ip,
+            dst=server_ip,
+            sport=client_port,
+            dport=server_port,
+            flags="RA",
+            seq=seq_to_server,
+            ack=ack_to_server,
+        )
+        ctx.inject(to_client, toward="client")
+        ctx.inject(to_server, toward="server")
+
+    def record_censorship(self, ctx: PathContext, packet: Packet, reason: str) -> None:
+        """Count and trace a censorship action."""
+        self.censorship_events += 1
+        ctx.record("censor", packet, reason)
+
+    @staticmethod
+    def is_client_to_server(direction: str) -> bool:
+        """Whether a packet travels from the in-country client outward."""
+        return direction == DIRECTION_C2S

@@ -1,0 +1,113 @@
+"""Deep-packet-inspection classifiers shared by the censor models.
+
+Each function inspects raw client-to-server payload bytes and returns a
+three-valued verdict:
+
+- ``None`` — the bytes are not recognizable as (a complete instance of)
+  the protocol; censors treat this as "not mine / can't tell", which is
+  exactly how segmentation-based strategies slip through non-reassembling
+  DPI;
+- ``False`` — recognized and benign;
+- ``True`` — recognized and forbidden.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..apps.dns import parse_query_name
+from ..apps.tls import parse_sni
+from .keywords import KeywordSet
+
+__all__ = [
+    "match_http",
+    "match_https",
+    "match_dns",
+    "match_ftp",
+    "match_smtp",
+    "looks_like_http_get",
+]
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ")
+
+#: The minimum well-formed GET prefix Kazakhstan's censor pattern-matches
+#: (Strategy 10: ``GET / HTTP1.`` — dropping the final "." breaks it).
+#: Real request lines (``GET / HTTP/1.1``) also match.
+_GET_PREFIX_RE = re.compile(rb"^GET \S+ HTTP/?1?\.")
+
+
+def looks_like_http_get(data: bytes) -> bool:
+    """Whether ``data`` starts with a well-formed HTTP GET prefix."""
+    return _GET_PREFIX_RE.match(data) is not None
+
+
+def match_http(data: bytes, keywords: KeywordSet) -> Optional[bool]:
+    """Classify an HTTP request."""
+    if not data.startswith(_HTTP_METHODS):
+        return None
+    head = data.split(b"\r\n\r\n", 1)[0]
+    request_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    if " HTTP/" not in request_line:
+        return None  # incomplete request line (e.g. split across segments)
+    target = request_line.split(" ")[1] if len(request_line.split(" ")) > 1 else ""
+    for keyword in keywords.http_keywords:
+        if keyword in target:
+            return True
+    host = ""
+    for line in head.split(b"\r\n")[1:]:
+        if line.lower().startswith(b"host:"):
+            host = line.split(b":", 1)[1].strip().decode("latin-1", "replace")
+            break
+    if host in keywords.http_hosts:
+        return True
+    return False
+
+
+def match_https(data: bytes, keywords: KeywordSet) -> Optional[bool]:
+    """Classify a TLS ClientHello by its SNI."""
+    if not data[:1] == b"\x16":
+        return None
+    sni = parse_sni(data)
+    if sni is None:
+        return None  # truncated hello: censor could not extract the SNI
+    return sni in keywords.sni_names
+
+
+def match_dns(data: bytes, keywords: KeywordSet) -> Optional[bool]:
+    """Classify a DNS-over-TCP query by its qname."""
+    qname = parse_query_name(data)
+    if qname is None:
+        return None
+    return qname in keywords.dns_names
+
+
+def match_ftp(data: bytes, keywords: KeywordSet) -> Optional[bool]:
+    """Classify FTP control-channel commands."""
+    text = data.decode("latin-1", "replace")
+    lines = [line for line in text.split("\r\n") if line]
+    recognized = False
+    for line in lines:
+        verb = line.split(" ")[0].upper()
+        if verb in ("USER", "PASS", "RETR", "CWD", "LIST", "STOR", "QUIT"):
+            recognized = True
+            argument = line.partition(" ")[2].lower()
+            if verb == "RETR" and any(k in argument for k in keywords.ftp_keywords):
+                return True
+    return False if recognized else None
+
+
+def match_smtp(data: bytes, keywords: KeywordSet) -> Optional[bool]:
+    """Classify SMTP commands (the GFW matches the RCPT recipient)."""
+    text = data.decode("latin-1", "replace")
+    lines = [line for line in text.split("\r\n") if line]
+    recognized = False
+    for line in lines:
+        verb = line.split(":")[0].split(" ")[0].upper()
+        if verb in ("HELO", "EHLO", "MAIL", "RCPT", "DATA", "QUIT"):
+            recognized = True
+            if verb == "RCPT":
+                recipient = line.partition(":")[2].strip().strip("<>").lower()
+                if recipient in {r.lower() for r in keywords.smtp_recipients}:
+                    return True
+    return False if recognized else None

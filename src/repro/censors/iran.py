@@ -1,0 +1,70 @@
+"""Iran's censorship model (§5.2).
+
+Behaviour from the paper:
+
+- censors HTTP (Host header) and HTTPS (SNI), each only on its default
+  port (80/443); DNS-over-TCP is no longer censored (contrary to Aryan
+  et al.'s 2013 findings);
+- stateless per-packet DPI with no TCP reassembly;
+- in-path "blackholing": on a match it drops the offending packet and
+  every subsequent client packet of that flow for one minute, so the
+  client simply times out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from ..netsim import PathContext
+from ..packets import Packet
+from .base import Censor, FlowKey, flow_key
+from .dpi import match_http, match_https
+from .keywords import IRAN_KEYWORDS, KeywordSet
+
+__all__ = ["IranCensor", "BLACKHOLE_DURATION"]
+
+#: How long Iran blackholes a flow after a forbidden request (seconds).
+BLACKHOLE_DURATION = 60.0
+
+
+class IranCensor(Censor):
+    """Stateless in-path censor that blackholes offending flows."""
+
+    name = "iran"
+
+    def __init__(
+        self,
+        keywords: KeywordSet = IRAN_KEYWORDS,
+        http_ports: FrozenSet[int] = frozenset({80}),
+        https_ports: FrozenSet[int] = frozenset({443}),
+        duration: float = BLACKHOLE_DURATION,
+    ) -> None:
+        super().__init__()
+        self.keywords = keywords
+        self.http_ports = http_ports
+        self.https_ports = https_ports
+        self.duration = duration
+        self.blackholed: Dict[FlowKey, float] = {}
+
+    def process(self, packet: Packet, direction: str, ctx: PathContext) -> List[Packet]:
+        if packet.tcp is None:
+            return [packet]  # TCP censorship only
+        if not self.is_client_to_server(direction):
+            return [packet]
+        key = flow_key(packet)
+        expiry = self.blackholed.get(key)
+        if expiry is not None and ctx.now < expiry:
+            ctx.record("drop", packet, "blackholed")
+            return []
+        if packet.load and self._forbidden(packet):
+            self.record_censorship(ctx, packet, "blackholing flow")
+            self.blackholed[key] = ctx.now + self.duration
+            return []  # the offending packet itself is dropped
+        return [packet]
+
+    def _forbidden(self, packet: Packet) -> bool:
+        if packet.dport in self.http_ports:
+            return match_http(packet.load, self.keywords) is True
+        if packet.dport in self.https_ports:
+            return match_https(packet.load, self.keywords) is True
+        return False

@@ -1,0 +1,60 @@
+"""Censored keywords, domains, and addresses used by the censor models.
+
+These mirror the triggers the paper used to elicit censorship (§4.2):
+URL keywords like ``ultrasurf`` in China, forbidden ``Host:`` domains in
+India/Iran/Kazakhstan, forbidden SNI names (``www.wikipedia.org`` in
+China, ``youtube.com`` in Iran), sensitive FTP filenames, and the GFW's
+forbidden SMTP recipient ``xiazai@upup.info``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+__all__ = ["KeywordSet", "CHINA_KEYWORDS", "INDIA_KEYWORDS", "IRAN_KEYWORDS", "KAZAKHSTAN_KEYWORDS"]
+
+
+@dataclass(frozen=True)
+class KeywordSet:
+    """Per-country censorship triggers.
+
+    Attributes:
+        http_keywords: Substrings censored when they appear in an HTTP
+            request line (URL parameters — China's trigger).
+        http_hosts: Domains censored in the HTTP ``Host:`` header.
+        sni_names: Hostnames censored in the TLS SNI field.
+        dns_names: Hostnames censored in DNS queries.
+        ftp_keywords: Substrings censored in FTP command arguments.
+        smtp_recipients: Email addresses censored in ``RCPT TO``.
+    """
+
+    http_keywords: FrozenSet[str] = frozenset()
+    http_hosts: FrozenSet[str] = frozenset()
+    sni_names: FrozenSet[str] = frozenset()
+    dns_names: FrozenSet[str] = frozenset()
+    ftp_keywords: FrozenSet[str] = frozenset()
+    smtp_recipients: FrozenSet[str] = frozenset()
+
+
+CHINA_KEYWORDS = KeywordSet(
+    http_keywords=frozenset({"ultrasurf", "falun"}),
+    http_hosts=frozenset({"www.wikipedia.org", "www.google.com"}),
+    sni_names=frozenset({"www.wikipedia.org", "www.google.com"}),
+    dns_names=frozenset({"www.wikipedia.org", "www.google.com"}),
+    ftp_keywords=frozenset({"ultrasurf", "falun"}),
+    smtp_recipients=frozenset({"xiazai@upup.info"}),
+)
+
+INDIA_KEYWORDS = KeywordSet(
+    http_hosts=frozenset({"blocked.example.in", "www.blockedsite.com"}),
+)
+
+IRAN_KEYWORDS = KeywordSet(
+    http_hosts=frozenset({"youtube.com", "www.blockedsite.com"}),
+    sni_names=frozenset({"youtube.com", "www.blockedsite.com"}),
+)
+
+KAZAKHSTAN_KEYWORDS = KeywordSet(
+    http_hosts=frozenset({"blocked.example.kz", "www.blockedsite.com"}),
+)

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+- ``trial``      run one censored request and print the outcome/waterfall;
+- ``rates``      measure a strategy's success rate over many trials;
+- ``strategies`` list the paper's 11 strategies (with their DSL);
+- ``waterfall``  render the packet waterfall for a strategy;
+- ``evolve``     run the genetic algorithm against a censor;
+- ``matrix``     measure the Table 1 censorship matrix.
+
+Examples::
+
+    python -m repro trial china http --strategy 1 --seed 3
+    python -m repro rates kazakhstan http --strategy 9 --trials 50
+    python -m repro waterfall china ftp --strategy 5
+    python -m repro evolve kazakhstan http --population 30 --generations 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import SERVER_STRATEGIES, Strategy, deployed_strategy
+from .core.evolution import CensorTrialEvaluator, GAConfig, GeneticAlgorithm
+from .eval import run_trial, success_rate
+from .eval.matrix import format_matrix, measure_censorship_matrix
+from .eval.waterfall import render_waterfall
+
+__all__ = ["main", "build_parser"]
+
+_COUNTRIES = ["china", "india", "iran", "kazakhstan", "none"]
+_PROTOCOLS = ["dns", "ftp", "http", "https", "smtp"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Server-side censorship evasion (SIGCOMM 2020) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_target(p):
+        p.add_argument("country", choices=_COUNTRIES, help="censor to run against")
+        p.add_argument("protocol", choices=_PROTOCOLS, help="application protocol")
+        p.add_argument(
+            "--strategy",
+            default=None,
+            help="paper strategy number (1-11) or a full Geneva strategy string",
+        )
+        p.add_argument("--seed", type=int, default=0, help="deterministic seed")
+        p.add_argument(
+            "--client-os",
+            default="ubuntu-18.04.1",
+            help="client OS personality (see repro.tcpstack.PERSONALITIES)",
+        )
+
+    p_trial = sub.add_parser("trial", help="run one trial")
+    add_target(p_trial)
+    p_trial.add_argument(
+        "--waterfall", action="store_true", help="print the packet waterfall"
+    )
+    p_trial.add_argument(
+        "--pcap", default=None, metavar="FILE",
+        help="write the trial's packets to a pcap file (opens in Wireshark)",
+    )
+
+    p_rates = sub.add_parser("rates", help="measure a success rate")
+    add_target(p_rates)
+    p_rates.add_argument("--trials", type=int, default=100)
+
+    p_water = sub.add_parser("waterfall", help="render a packet waterfall")
+    add_target(p_water)
+
+    sub.add_parser("strategies", help="list the paper's strategies")
+
+    p_explain = sub.add_parser(
+        "explain", help="describe what a strategy does on the wire"
+    )
+    p_explain.add_argument(
+        "strategy", help="paper strategy number (1-11) or a Geneva strategy string"
+    )
+    p_explain.add_argument("--seed", type=int, default=0)
+
+    p_evolve = sub.add_parser("evolve", help="run the genetic algorithm")
+    p_evolve.add_argument("country", choices=_COUNTRIES[:-1])
+    p_evolve.add_argument("protocol", choices=_PROTOCOLS)
+    p_evolve.add_argument("--population", type=int, default=30)
+    p_evolve.add_argument("--generations", type=int, default=30)
+    p_evolve.add_argument("--seed", type=int, default=3)
+    p_evolve.add_argument("--trials", type=int, default=3)
+    p_evolve.add_argument(
+        "--minimize",
+        action="store_true",
+        help="prune the winning strategy to its minimal working form",
+    )
+
+    p_matrix = sub.add_parser("matrix", help="measure the censorship matrix")
+    p_matrix.add_argument("--seed", type=int, default=0)
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate the paper's tables and figures"
+    )
+    p_repro.add_argument("--out", default="results", help="output directory")
+    p_repro.add_argument("--trials", type=int, default=150)
+    p_repro.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiments (e.g. table2 figure3)",
+    )
+
+    return parser
+
+
+def _resolve_strategy(text: Optional[str]) -> Optional[Strategy]:
+    if text is None:
+        return None
+    if text.isdigit():
+        number = int(text)
+        if number not in SERVER_STRATEGIES:
+            raise SystemExit(f"unknown strategy number {number} (valid: 1-11)")
+        return deployed_strategy(number)
+    return Strategy.parse(text)
+
+
+def _country(name: str) -> Optional[str]:
+    return None if name == "none" else name
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "strategies":
+        for number, record in SERVER_STRATEGIES.items():
+            countries = ",".join(record.countries)
+            print(f"{number:>2}  {record.name:<28} [{countries}]")
+            print(f"    {record.dsl}")
+        return 0
+
+    if args.command == "matrix":
+        print(format_matrix(measure_censorship_matrix(seed=args.seed)))
+        return 0
+
+    if args.command == "reproduce":
+        from .eval.report import reproduce_all
+
+        written = reproduce_all(args.out, trials=args.trials, only=args.only)
+        print(f"wrote {len(written)} artifacts to {args.out}/")
+        return 0
+
+    if args.command == "explain":
+        from .core import explain
+
+        strategy = _resolve_strategy(args.strategy)
+        report = explain(strategy, seed=args.seed)
+        print(report.render())
+        return 1 if report.breaks_handshake else 0
+
+    if args.command == "evolve":
+        evaluator = CensorTrialEvaluator(
+            args.country, args.protocol, trials=args.trials, seed=5
+        )
+        ga = GeneticAlgorithm(
+            evaluator,
+            config=GAConfig(
+                population_size=args.population,
+                generations=args.generations,
+                seed=args.seed,
+                convergence_patience=max(8, args.generations // 3),
+            ),
+        )
+        result = ga.run()
+        print(f"generations run: {result.generations_run}")
+        print(f"best fitness:    {result.best_fitness:.1f}")
+        print(f"best strategy:   {result.best}")
+        if args.minimize:
+            from .core.evolution import minimize
+
+            minimal, fitness = minimize(result.best, evaluator)
+            print(f"minimized:       {minimal} (fitness {fitness:.1f})")
+        return 0
+
+    strategy = _resolve_strategy(args.strategy)
+    country = _country(args.country)
+
+    if args.command == "trial":
+        result = run_trial(
+            country, args.protocol, strategy, seed=args.seed, client_os=args.client_os
+        )
+        print(f"outcome:  {result.outcome}")
+        print(f"evaded:   {result.succeeded}")
+        print(f"censored: {result.censored}")
+        if args.waterfall:
+            print(render_waterfall(result.trace))
+        if args.pcap:
+            from .netsim import write_pcap
+
+            count = write_pcap(result.trace, args.pcap)
+            print(f"wrote {count} packets to {args.pcap}")
+        return 0 if result.succeeded else 1
+
+    if args.command == "rates":
+        rate = success_rate(
+            country,
+            args.protocol,
+            strategy,
+            trials=args.trials,
+            seed=args.seed,
+            client_os=args.client_os,
+        )
+        label = args.strategy if args.strategy else "no evasion"
+        print(
+            f"{args.country}/{args.protocol} strategy={label}: "
+            f"{rate * 100:.1f}% over {args.trials} trials"
+        )
+        return 0
+
+    if args.command == "waterfall":
+        result = run_trial(
+            country, args.protocol, strategy, seed=args.seed, client_os=args.client_os
+        )
+        print(render_waterfall(result.trace, title=f"outcome: {result.outcome}"))
+        return 0
+
+    raise SystemExit(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Geneva core: the strategy DSL, the wire-level engine, the strategy
+library, and the genetic algorithm that discovers new strategies.
+
+This package is the paper's primary contribution area: running Geneva
+*server-side*, so completely unmodified clients evade censorship.
+"""
+
+from .analysis import MECHANISMS, EmittedPacket, StrategyReport, explain
+from .dsl import (
+    Action,
+    DropAction,
+    DuplicateAction,
+    FragmentAction,
+    SendAction,
+    Strategy,
+    TamperAction,
+    Trigger,
+    parse_action,
+    parse_strategy,
+)
+from .engine import StrategyEngine, install_strategy
+from .strategies import (
+    CLIENT_SIDE_STRATEGIES,
+    NO_EVASION,
+    SERVER_STRATEGIES,
+    StrategyRecord,
+    client_side_strategy,
+    compat_strategy,
+    deployed_strategy,
+    server_side_analogs,
+    strategy,
+)
+
+__all__ = [
+    "Action",
+    "CLIENT_SIDE_STRATEGIES",
+    "EmittedPacket",
+    "MECHANISMS",
+    "StrategyReport",
+    "explain",
+    "DropAction",
+    "DuplicateAction",
+    "FragmentAction",
+    "NO_EVASION",
+    "SERVER_STRATEGIES",
+    "SendAction",
+    "Strategy",
+    "StrategyEngine",
+    "StrategyRecord",
+    "TamperAction",
+    "Trigger",
+    "client_side_strategy",
+    "compat_strategy",
+    "deployed_strategy",
+    "install_strategy",
+    "parse_action",
+    "parse_strategy",
+    "server_side_analogs",
+    "strategy",
+]

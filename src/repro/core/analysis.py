@@ -1,0 +1,171 @@
+"""Strategy analysis: explain what a strategy does on the wire.
+
+Given any Geneva strategy, :func:`explain` applies it to a canonical
+handshake SYN+ACK and produces a structured description — the packets it
+emits and the evasion *mechanisms* it engages (simultaneous open,
+corrupted ack numbers, handshake payloads, insertion packets, window
+reduction). This powers the CLI's ``explain`` command and gives evolved
+strategies human-readable provenance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..packets import Packet, make_tcp_packet
+from .dsl import Strategy
+
+__all__ = ["StrategyReport", "EmittedPacket", "explain", "MECHANISMS"]
+
+_MOD = 1 << 32
+
+#: Mechanism identifiers with the strategies that canonically use them.
+MECHANISMS = {
+    "simultaneous-open": "a bare SYN from the server triggers client sim-open (S1-S3)",
+    "corrupt-ack": "a SYN+ACK with a wrong ack number induces a client RST (S3-S7)",
+    "handshake-payload": "payload bytes during the handshake confuse the censor (S2,S5,S6,S9,S10)",
+    "injected-rst": "an inert RST from the server triggers GFW resync (S1,S7)",
+    "insertion-packet": "checksum-corrupted packets reach only the censor (S5/S9/S10 compat)",
+    "window-reduction": "a tiny window induces client segmentation (S8)",
+    "null-flags": "a packet without FIN/RST/SYN/ACK breaks censor pattern models (S11)",
+    "drops-handshake": "the real SYN+ACK is never sent (breaks the connection!)",
+}
+
+_CLIENT_ISN = 1_000_000
+_SERVER_ISN = 2_000_000
+
+
+@dataclass
+class EmittedPacket:
+    """One packet a strategy put on the wire, annotated."""
+
+    flags: str
+    seq: int
+    ack: int
+    payload_length: int
+    window: int
+    valid_checksum: bool
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line description."""
+        flags = self.flags if self.flags else "<null>"
+        parts = [f"[{flags}]", f"seq={self.seq}", f"ack={self.ack}"]
+        if self.payload_length:
+            parts.append(f"load={self.payload_length}B")
+        parts.append(f"win={self.window}")
+        if not self.valid_checksum:
+            parts.append("BAD-CHKSUM")
+        if self.notes:
+            parts.append("(" + ", ".join(self.notes) + ")")
+        return " ".join(parts)
+
+
+@dataclass
+class StrategyReport:
+    """Structured description of a strategy's wire behaviour."""
+
+    strategy: str
+    packets: List[EmittedPacket]
+    mechanisms: List[str]
+    breaks_handshake: bool
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f"strategy: {self.strategy}"]
+        lines.append(f"packets emitted for one SYN+ACK ({len(self.packets)}):")
+        if not self.packets:
+            lines.append("  (none - the SYN+ACK is dropped)")
+        for packet in self.packets:
+            lines.append(f"  {packet.summary()}")
+        lines.append("mechanisms:")
+        if not self.mechanisms:
+            lines.append("  (none - behaves like an unmodified server)")
+        for mechanism in self.mechanisms:
+            lines.append(f"  - {mechanism}: {MECHANISMS[mechanism]}")
+        return "\n".join(lines)
+
+
+def _canonical_synack() -> Packet:
+    return make_tcp_packet(
+        src="192.0.2.10",
+        dst="10.1.0.2",
+        sport=80,
+        dport=40000,
+        flags="SA",
+        seq=_SERVER_ISN,
+        ack=(_CLIENT_ISN + 1) % _MOD,
+        window=65535,
+        options=[("mss", 1460), ("wscale", 7), ("sackok", None)],
+    )
+
+
+def _annotate(packet: Packet) -> EmittedPacket:
+    notes: List[str] = []
+    tcp = packet.tcp
+    if tcp.is_syn:
+        notes.append("sim-open SYN")
+    if tcp.is_synack and tcp.ack != (_CLIENT_ISN + 1) % _MOD:
+        notes.append("bad ackno")
+    if tcp.is_rst:
+        notes.append("inert RST")
+    if not set(tcp.flags) & set("FRSA"):
+        notes.append("non-handshake flags")
+    if tcp.is_synack and tcp.window <= 64:
+        notes.append("reduced window")
+    if tcp.is_synack and tcp.get_option("wscale") is None:
+        notes.append("wscale removed")
+    return EmittedPacket(
+        flags=tcp.flags,
+        seq=tcp.seq,
+        ack=tcp.ack,
+        payload_length=len(tcp.load),
+        window=tcp.window,
+        valid_checksum=packet.checksums_ok(),
+        notes=notes,
+    )
+
+
+def explain(strategy: Strategy, seed: int = 0) -> StrategyReport:
+    """Apply ``strategy`` to a canonical SYN+ACK and describe the result."""
+    rng = random.Random(seed)
+    emitted = strategy.apply_outbound(_canonical_synack(), rng)
+    packets = [_annotate(packet) for packet in emitted]
+
+    mechanisms: List[str] = []
+    valid_synack_survives = any(
+        p.flags == "SA"
+        and p.ack == (_CLIENT_ISN + 1) % _MOD
+        and p.valid_checksum
+        for p in packets
+    )
+    has_syn = any("sim-open SYN" in p.notes and p.valid_checksum for p in packets)
+    if has_syn:
+        mechanisms.append("simultaneous-open")
+    if any("bad ackno" in p.notes and p.valid_checksum for p in packets):
+        mechanisms.append("corrupt-ack")
+    if any(p.payload_length and p.valid_checksum for p in packets):
+        mechanisms.append("handshake-payload")
+    if any("inert RST" in p.notes for p in packets):
+        mechanisms.append("injected-rst")
+    if any(not p.valid_checksum for p in packets):
+        mechanisms.append("insertion-packet")
+    if any(
+        "reduced window" in p.notes or "wscale removed" in p.notes for p in packets
+    ):
+        mechanisms.append("window-reduction")
+    if any("non-handshake flags" in p.notes for p in packets):
+        mechanisms.append("null-flags")
+
+    breaks = not valid_synack_survives and not has_syn
+    if breaks:
+        mechanisms.append("drops-handshake")
+
+    return StrategyReport(
+        strategy=str(strategy),
+        packets=packets,
+        mechanisms=mechanisms,
+        breaks_handshake=breaks,
+    )

@@ -1,0 +1,25 @@
+"""Geneva's strategy DSL: triggers, action trees, and the parser."""
+
+from .actions import (
+    Action,
+    DropAction,
+    DuplicateAction,
+    FragmentAction,
+    SendAction,
+    TamperAction,
+)
+from .parser import Strategy, parse_action, parse_strategy
+from .triggers import Trigger
+
+__all__ = [
+    "Action",
+    "DropAction",
+    "DuplicateAction",
+    "FragmentAction",
+    "SendAction",
+    "Strategy",
+    "TamperAction",
+    "Trigger",
+    "parse_action",
+    "parse_strategy",
+]

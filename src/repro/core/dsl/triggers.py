@@ -1,0 +1,48 @@
+"""Geneva triggers: ``[protocol:field:value]``.
+
+A trigger gates an action tree. Geneva's trigger matching is an *exact*
+match on the named field — ``[TCP:flags:S]`` does not match SYN+ACK
+packets (Appendix of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...packets import Packet
+
+__all__ = ["Trigger"]
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """An exact-match packet predicate.
+
+    Attributes:
+        protocol: ``"TCP"`` or ``"IP"``.
+        field: Field name within the protocol (Geneva namespace).
+        value: Textual value the field must equal exactly.
+    """
+
+    protocol: str
+    field: str
+    value: str
+
+    def matches(self, packet: Packet) -> bool:
+        """Whether ``packet`` satisfies this trigger."""
+        try:
+            return packet.matches(self.protocol, self.field, self.value)
+        except ValueError:
+            return False
+
+    @classmethod
+    def parse(cls, text: str) -> "Trigger":
+        """Parse ``proto:field:value`` (without the surrounding brackets)."""
+        parts = text.split(":", 2)
+        if len(parts) != 3:
+            raise ValueError(f"malformed trigger {text!r}")
+        protocol, field, value = parts
+        return cls(protocol.upper(), field, value)
+
+    def __str__(self) -> str:
+        return f"[{self.protocol}:{self.field}:{self.value}]"

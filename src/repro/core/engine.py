@@ -1,0 +1,55 @@
+"""The strategy engine: applies a Geneva strategy at a host's wire boundary.
+
+This plays the role NetfilterQueue plays for the real tool — it intercepts
+every packet between a host's TCP stack and the network and rewrites it
+according to the strategy. Installing the engine on the *server* host is
+precisely the paper's contribution: server-side evasion with a completely
+unmodified client.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..packets import Packet
+from ..tcpstack import Host
+from .dsl import Strategy
+
+__all__ = ["StrategyEngine", "install_strategy"]
+
+
+class StrategyEngine:
+    """Applies one :class:`~repro.core.dsl.Strategy` to a host's traffic.
+
+    Attributes:
+        strategy: The strategy being enforced.
+        rng: Randomness source for ``corrupt`` tampers (seeded per trial).
+        packets_intercepted: Outbound packets that matched a trigger.
+    """
+
+    def __init__(self, strategy: Strategy, rng: Optional[random.Random] = None) -> None:
+        self.strategy = strategy
+        self.rng = rng if rng is not None else random.Random(0)
+        self.packets_intercepted = 0
+
+    def outbound_filter(self, packet: Packet) -> List[Packet]:
+        """Filter suitable for :attr:`Host.outbound_filters`."""
+        result = self.strategy.apply_outbound(packet, self.rng)
+        if len(result) != 1 or result[0] is not packet:
+            self.packets_intercepted += 1
+        return result
+
+    def inbound_filter(self, packet: Packet) -> List[Packet]:
+        """Filter suitable for :attr:`Host.inbound_filters`."""
+        return self.strategy.apply_inbound(packet, self.rng)
+
+
+def install_strategy(
+    host: Host, strategy: Strategy, rng: Optional[random.Random] = None
+) -> StrategyEngine:
+    """Attach ``strategy`` to ``host`` (both directions); returns the engine."""
+    engine = StrategyEngine(strategy, rng)
+    host.outbound_filters.append(engine.outbound_filter)
+    host.inbound_filters.append(engine.inbound_filter)
+    return engine

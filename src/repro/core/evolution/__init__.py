@@ -1,0 +1,28 @@
+"""Geneva's genetic algorithm: gene pools, operators, fitness, and the loop."""
+
+from .crossover import crossover
+from .fitness import CensorTrialEvaluator, FitnessEvaluator
+from .ga import EvolutionResult, GAConfig, GeneticAlgorithm
+from .genes import GenePool, client_side_pool, server_side_pool
+from .islands import IslandConfig, run_islands
+from .minimize import candidate_reductions, minimize
+from .mutation import all_nodes, mutate, replace_node
+
+__all__ = [
+    "CensorTrialEvaluator",
+    "EvolutionResult",
+    "FitnessEvaluator",
+    "GAConfig",
+    "GenePool",
+    "IslandConfig",
+    "GeneticAlgorithm",
+    "all_nodes",
+    "candidate_reductions",
+    "client_side_pool",
+    "crossover",
+    "minimize",
+    "mutate",
+    "replace_node",
+    "run_islands",
+    "server_side_pool",
+]

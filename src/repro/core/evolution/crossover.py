@@ -1,0 +1,42 @@
+"""Crossover operator: exchange genetic material between two strategies."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..dsl import Strategy
+from .mutation import all_nodes, replace_node
+
+__all__ = ["crossover"]
+
+
+def crossover(
+    left: Strategy, right: Strategy, rng: random.Random
+) -> Tuple[Strategy, Strategy]:
+    """Produce two children by swapping random subtrees (or whole trees).
+
+    If either parent has no action trees, the parents are returned
+    unchanged (copies).
+    """
+    a = left.copy()
+    b = right.copy()
+    if not a.outbound or not b.outbound:
+        return a, b
+
+    ai = rng.randrange(len(a.outbound))
+    bi = rng.randrange(len(b.outbound))
+
+    if rng.random() < 0.5:
+        # Whole-tree swap.
+        a.outbound[ai], b.outbound[bi] = b.outbound[bi], a.outbound[ai]
+        return a, b
+
+    # Subtree swap.
+    a_trigger, a_action = a.outbound[ai]
+    b_trigger, b_action = b.outbound[bi]
+    a_node = rng.choice(all_nodes(a_action))
+    b_node = rng.choice(all_nodes(b_action))
+    a.outbound[ai] = (a_trigger, replace_node(a_action, a_node, b_node.copy()))
+    b.outbound[bi] = (b_trigger, replace_node(b_action, b_node, a_node.copy()))
+    return a, b

@@ -1,0 +1,70 @@
+"""Fitness evaluation for evolved strategies.
+
+Fitness mirrors Geneva's shaping: strategies are rewarded for evading
+censorship, punished (mildly) for being censored, punished severely for
+*breaking the connection* — a strategy that makes the server unreachable
+is worse than no strategy at all — and taxed per node to keep solutions
+small.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..dsl import Strategy
+
+__all__ = ["FitnessEvaluator", "CensorTrialEvaluator"]
+
+#: Signature every evaluator implements.
+FitnessEvaluator = Callable[[Strategy], float]
+
+REWARD_SUCCESS = 100.0
+PENALTY_CENSORED = -50.0
+PENALTY_BROKEN = -150.0
+COMPLEXITY_TAX = 1.0
+
+
+@dataclass
+class CensorTrialEvaluator:
+    """Evaluate a strategy by running trials against a simulated censor.
+
+    Attributes:
+        country: Censor to train against (e.g. ``"china"``).
+        protocol: Application protocol for the censored workload.
+        trials: Trials per evaluation (averaged).
+        seed: Base seed; each trial perturbs it deterministically.
+        side: ``"server"`` (the paper's contribution) or ``"client"``.
+    """
+
+    country: str
+    protocol: str
+    trials: int = 4
+    seed: int = 0
+    side: str = "server"
+
+    def __call__(self, strategy: Strategy) -> float:
+        from ...eval.runner import run_trial  # local import: avoids a cycle
+
+        total = 0.0
+        for index in range(self.trials):
+            kwargs = {}
+            if self.side == "server":
+                kwargs["server_strategy"] = strategy
+            else:
+                kwargs["client_strategy"] = strategy
+            result = run_trial(
+                self.country,
+                self.protocol,
+                seed=self.seed + index * 1009,
+                **kwargs,
+            )
+            if result.succeeded:
+                total += REWARD_SUCCESS
+            elif result.censored:
+                total += PENALTY_CENSORED
+            else:
+                total += PENALTY_BROKEN
+        average = total / self.trials
+        return average - COMPLEXITY_TAX * strategy.tree_size()

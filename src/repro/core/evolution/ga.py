@@ -1,0 +1,157 @@
+"""The genetic algorithm driving Geneva's strategy discovery.
+
+§4.1 of the paper configures Geneva with a population of 300 individuals
+evolved for 50 generations (or until convergence). Those scales are
+supported; tests and examples use smaller populations against the
+simulated censors, which converge in a handful of generations because the
+fitness landscape is the same one the paper's strategies exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dsl import Strategy
+from .crossover import crossover
+from .fitness import FitnessEvaluator
+from .genes import GenePool, server_side_pool
+from .mutation import mutate
+
+__all__ = ["GAConfig", "GeneticAlgorithm", "EvolutionResult"]
+
+
+@dataclass
+class GAConfig:
+    """Hyperparameters for one evolution run.
+
+    The defaults are test-scale; the paper's run used
+    ``population_size=300, generations=50``.
+    """
+
+    population_size: int = 20
+    generations: int = 10
+    seed: int = 0
+    elite_count: int = 2
+    tournament_size: int = 3
+    crossover_rate: float = 0.4
+    mutation_rate: float = 0.9
+    immigration_rate: float = 0.25
+    convergence_patience: int = 5
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of an evolution run.
+
+    Attributes:
+        best: The fittest strategy found.
+        best_fitness: Its fitness.
+        history: Best fitness per generation.
+        generations_run: How many generations actually executed.
+        hall_of_fame: Top distinct strategies (string, fitness).
+    """
+
+    best: Strategy
+    best_fitness: float
+    history: List[float] = field(default_factory=list)
+    generations_run: int = 0
+    hall_of_fame: List[Tuple[str, float]] = field(default_factory=list)
+
+
+class GeneticAlgorithm:
+    """Evolves packet-manipulation strategies against a fitness evaluator."""
+
+    def __init__(
+        self,
+        evaluator: FitnessEvaluator,
+        pool: Optional[GenePool] = None,
+        config: Optional[GAConfig] = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.pool = pool if pool is not None else server_side_pool()
+        self.config = config if config is not None else GAConfig()
+        self.rng = random.Random(self.config.seed)
+        self._cache: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def initial_population(self) -> List[Strategy]:
+        """Random individuals, each with one small action tree."""
+        population = []
+        for _ in range(self.config.population_size):
+            trigger = self.pool.random_trigger(self.rng)
+            action = self.pool.random_action(self.rng)
+            population.append(Strategy([(trigger, action)]))
+        return population
+
+    def fitness(self, strategy: Strategy) -> float:
+        """Evaluate (memoized on the canonical strategy string)."""
+        key = str(strategy)
+        if key not in self._cache:
+            self._cache[key] = self.evaluator(strategy)
+        return self._cache[key]
+
+    def _tournament(self, scored: List[Tuple[float, Strategy]]) -> Strategy:
+        contenders = [
+            scored[self.rng.randrange(len(scored))]
+            for _ in range(self.config.tournament_size)
+        ]
+        return max(contenders, key=lambda item: item[0])[1]
+
+    # ------------------------------------------------------------------
+
+    def run(self, population: Optional[List[Strategy]] = None) -> EvolutionResult:
+        """Execute the evolution loop; returns the best strategy found."""
+        config = self.config
+        population = population if population is not None else self.initial_population()
+        history: List[float] = []
+        best: Optional[Strategy] = None
+        best_fitness = float("-inf")
+        stale = 0
+
+        for generation in range(config.generations):
+            scored = sorted(
+                ((self.fitness(ind), ind) for ind in population),
+                key=lambda item: item[0],
+                reverse=True,
+            )
+            top_fitness, top = scored[0]
+            history.append(top_fitness)
+            if top_fitness > best_fitness:
+                best_fitness = top_fitness
+                best = top
+                stale = 0
+            else:
+                stale += 1
+            if stale >= config.convergence_patience:
+                break
+
+            next_gen: List[Strategy] = [ind.copy() for _, ind in scored[: config.elite_count]]
+            # Immigration: keep injecting fresh random individuals so the
+            # population never fully collapses onto one local optimum.
+            immigrants = int(config.population_size * config.immigration_rate)
+            for _ in range(immigrants):
+                trigger = self.pool.random_trigger(self.rng)
+                next_gen.append(Strategy([(trigger, self.pool.random_action(self.rng))]))
+            while len(next_gen) < config.population_size:
+                parent = self._tournament(scored)
+                if self.rng.random() < config.crossover_rate:
+                    other = self._tournament(scored)
+                    child, _ = crossover(parent, other, self.rng)
+                else:
+                    child = parent.copy()
+                if self.rng.random() < config.mutation_rate:
+                    child = mutate(child, self.pool, self.rng)
+                next_gen.append(child)
+            population = next_gen
+
+        fame = sorted(self._cache.items(), key=lambda item: item[1], reverse=True)
+        return EvolutionResult(
+            best=best if best is not None else population[0],
+            best_fitness=best_fitness,
+            history=history,
+            generations_run=len(history),
+            hall_of_fame=fame[:10],
+        )

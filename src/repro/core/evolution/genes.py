@@ -1,0 +1,135 @@
+"""Gene pool configuration: what mutations are allowed to build.
+
+Mirrors §4.1's setup: for server-side evolution the only packet a server
+can trigger on before a censorship event is its SYN+ACK, so the default
+server-side pool restricts triggers to ``[TCP:flags:SA]`` (the paper's
+"slight optimization"). The client-side pool triggers on the client's
+handshake ACK and request packets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..dsl import (
+    Action,
+    DropAction,
+    DuplicateAction,
+    FragmentAction,
+    SendAction,
+    TamperAction,
+    Trigger,
+)
+
+__all__ = ["GenePool", "server_side_pool", "client_side_pool"]
+
+#: (protocol, field, mode, candidate replace values)
+TamperGene = Tuple[str, str, str, Tuple[str, ...]]
+
+_SERVER_TAMPERS: List[TamperGene] = [
+    ("TCP", "flags", "replace", ("R", "S", "A", "F", "FA", "RA", "")),
+    ("TCP", "ack", "corrupt", ()),
+    ("TCP", "seq", "corrupt", ()),
+    ("TCP", "load", "corrupt", ()),
+    ("TCP", "load", "replace", ("GET / HTTP1.",)),
+    ("TCP", "window", "replace", ("10", "100", "1000")),
+    ("TCP", "options-wscale", "replace", ("",)),
+    ("TCP", "chksum", "corrupt", ()),
+    ("IP", "ttl", "replace", ("1", "5", "8")),
+]
+
+_CLIENT_TAMPERS: List[TamperGene] = [
+    ("TCP", "flags", "replace", ("R", "RA", "F", "FA", "")),
+    ("TCP", "seq", "corrupt", ()),
+    ("TCP", "load", "corrupt", ()),
+    ("TCP", "chksum", "corrupt", ()),
+    ("IP", "ttl", "replace", ("1", "5", "8")),
+]
+
+
+@dataclass
+class GenePool:
+    """The building blocks evolution may combine.
+
+    Attributes:
+        triggers: Candidate triggers for new action trees.
+        tampers: Candidate tamper genes.
+        allow_fragment: Whether ``fragment`` nodes may be generated.
+        allow_drop: Whether ``drop`` leaves may be generated.
+        max_tree_size: Hard cap on nodes per action tree.
+        max_trees: Hard cap on action trees per strategy side.
+    """
+
+    triggers: List[Trigger] = field(default_factory=list)
+    tampers: List[TamperGene] = field(default_factory=lambda: list(_SERVER_TAMPERS))
+    allow_fragment: bool = False
+    allow_drop: bool = True
+    max_tree_size: int = 10
+    max_trees: int = 2
+
+    # ------------------------------------------------------------------
+
+    def random_trigger(self, rng: random.Random) -> Trigger:
+        """Pick a trigger for a new action tree."""
+        return rng.choice(self.triggers)
+
+    def random_tamper(self, rng: random.Random) -> TamperAction:
+        """Build a random tamper node (with a plain send child)."""
+        protocol, fld, mode, values = rng.choice(self.tampers)
+        value = rng.choice(values) if (mode == "replace" and values) else ""
+        return TamperAction(protocol, fld, mode, value)
+
+    def random_action(self, rng: random.Random, depth: int = 0) -> Action:
+        """Build a random small action subtree.
+
+        Sampling is weighted toward tamper/duplicate at the root (trivial
+        ``send``/``drop`` roots carry no genetic material worth keeping).
+        """
+        choices = ["tamper", "tamper", "tamper", "duplicate", "duplicate", "send"]
+        if self.allow_drop:
+            choices.append("drop")
+        if self.allow_fragment:
+            choices.append("fragment")
+        if depth >= 2:
+            choices = ["tamper", "send", "send"]
+        elif depth >= 1:
+            choices = ["tamper", "tamper", "duplicate", "send", "send"]
+            if self.allow_drop:
+                choices.append("drop")
+        kind = rng.choice(choices)
+        if kind == "send":
+            return SendAction()
+        if kind == "drop":
+            return DropAction()
+        if kind == "tamper":
+            node = self.random_tamper(rng)
+            if rng.random() < 0.3:
+                node.child = self.random_action(rng, depth + 1)
+            return node
+        if kind == "duplicate":
+            return DuplicateAction(
+                self.random_action(rng, depth + 1),
+                self.random_action(rng, depth + 1),
+            )
+        return FragmentAction(
+            "tcp",
+            offset=rng.choice([2, 4, 8, 16]),
+            in_order=rng.random() < 0.7,
+            first=SendAction(),
+            second=SendAction(),
+        )
+
+
+def server_side_pool() -> GenePool:
+    """The paper's server-side gene pool (SYN+ACK trigger only)."""
+    return GenePool(triggers=[Trigger("TCP", "flags", "SA")])
+
+
+def client_side_pool() -> GenePool:
+    """Client-side gene pool (triggers on the client's ACK/request)."""
+    return GenePool(
+        triggers=[Trigger("TCP", "flags", "A"), Trigger("TCP", "flags", "PA")],
+        tampers=list(_CLIENT_TAMPERS),
+    )

@@ -1,0 +1,103 @@
+"""Post-discovery strategy minimization.
+
+Evolved strategies accumulate vestigial genetic material — duplicates of
+sends, tampers that change nothing the censor looks at. Geneva's workflow
+prunes these before reporting a strategy. :func:`minimize` greedily
+removes nodes (and whole action trees) while the strategy's fitness does
+not drop, yielding the minimal strategy with the same effect — often
+exactly one of the paper's canonical forms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..dsl import Action, SendAction, Strategy, TamperAction
+from .fitness import FitnessEvaluator
+from .mutation import all_nodes, replace_node
+
+__all__ = ["minimize", "candidate_reductions"]
+
+
+def candidate_reductions(strategy: Strategy) -> List[Strategy]:
+    """All single-step simplifications of ``strategy``.
+
+    Each candidate removes one action tree, or replaces one non-leaf node
+    with one of its children (for tamper: its continuation; for
+    duplicate/fragment: either branch).
+    """
+    candidates: List[Strategy] = []
+
+    for index in range(len(strategy.outbound)):
+        clone = strategy.copy()
+        del clone.outbound[index]
+        candidates.append(clone)
+
+    for index, (trigger, action) in enumerate(strategy.outbound):
+        for node in all_nodes(action):
+            children = node.children()
+            if not children:
+                continue
+            replacements: List[Action] = [child.copy() for child in children]
+            if not isinstance(node, TamperAction):
+                replacements.append(SendAction())
+            for replacement in replacements:
+                clone = strategy.copy()
+                original = clone.outbound[index][1]
+                # Walk to the matching node in the copy by position.
+                target = _node_at(original, _position_of(action, node))
+                clone.outbound[index] = (
+                    trigger,
+                    replace_node(original, target, replacement),
+                )
+                candidates.append(clone)
+
+    seen = set()
+    unique: List[Strategy] = []
+    for candidate in candidates:
+        key = str(candidate)
+        if key != str(strategy) and key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    return unique
+
+
+def _position_of(root: Action, node: Action) -> int:
+    for index, candidate in enumerate(all_nodes(root)):
+        if candidate is node:
+            return index
+    raise ValueError("node not found in tree")
+
+
+def _node_at(root: Action, position: int) -> Action:
+    return all_nodes(root)[position]
+
+
+def minimize(
+    strategy: Strategy,
+    evaluator: FitnessEvaluator,
+    tolerance: float = 0.0,
+    max_rounds: int = 20,
+) -> Tuple[Strategy, float]:
+    """Greedily prune ``strategy`` while fitness stays within ``tolerance``.
+
+    Returns ``(minimal_strategy, fitness)``. The evaluator should be
+    deterministic enough (enough trials) that pruning decisions are
+    stable.
+    """
+    current = strategy.copy()
+    current_fitness = evaluator(current)
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in sorted(
+            candidate_reductions(current), key=lambda s: s.tree_size()
+        ):
+            fitness = evaluator(candidate)
+            if fitness >= current_fitness - tolerance:
+                current = candidate
+                current_fitness = fitness
+                improved = True
+                break
+        if not improved:
+            break
+    return current, current_fitness

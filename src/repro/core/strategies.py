@@ -1,0 +1,297 @@
+"""The paper's strategy library.
+
+Contains, in Geneva DSL form:
+
+- the **11 server-side strategies** of Table 2 (Strategies 1–8 for China,
+  8–11 for India/Iran/Kazakhstan), exactly as printed in the paper;
+- **deployed variants** where needed — Strategy 8's window reduction is
+  also applied to the server's subsequent ACKs so induced segmentation
+  persists past the first flight (the printed form tampers only the
+  SYN+ACK; our unmodified server stack re-advertises its real window on
+  the very next ACK, so for protocols whose forbidden request comes after
+  a sign-in dialogue the clamp must be maintained — see EXPERIMENTS.md);
+- **client-compatibility variants** (§7): Strategies 5, 9 and 10 carry a
+  payload on a SYN+ACK, which Windows and macOS stacks consume; the fix
+  sends the payload packets as checksum-corrupted insertion packets and
+  the original SYN+ACK unmodified afterwards;
+- a corpus of **client-side strategies** (TCB teardown via TTL-limited or
+  checksum-corrupted insertion packets, from Bock et al.) used by §3's
+  generalization experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .dsl import Strategy
+
+__all__ = [
+    "StrategyRecord",
+    "SERVER_STRATEGIES",
+    "strategy",
+    "deployed_strategy",
+    "compat_strategy",
+    "CLIENT_SIDE_STRATEGIES",
+    "CLIENT_SEGMENTATION_STRATEGIES",
+    "client_side_strategy",
+    "server_side_analogs",
+    "NO_EVASION",
+]
+
+#: The do-nothing baseline (Table 2's "No evasion" rows).
+NO_EVASION = Strategy(name="no-evasion")
+
+
+@dataclass(frozen=True)
+class StrategyRecord:
+    """One numbered strategy from the paper.
+
+    Attributes:
+        number: Paper strategy number (1–11).
+        name: Short descriptive name from Table 2.
+        dsl: The strategy string exactly as printed in the paper.
+        deployed_dsl: Variant actually installed for evaluation when the
+            printed form needs reinforcement (see module docstring);
+            ``None`` means the printed form is deployed as-is.
+        compat_dsl: Client-compatibility variant using checksum-corrupted
+            insertion packets (§7); ``None`` when not needed.
+        countries: Countries where Table 2 reports the strategy.
+        uses_simultaneous_open: Whether the strategy relies on TCP
+            simultaneous open (relevant for carrier middleboxes, §7).
+        synack_payload: Whether a payload rides on a SYN+ACK (the §7
+            Windows/macOS incompatibility).
+    """
+
+    number: int
+    name: str
+    dsl: str
+    deployed_dsl: Optional[str] = None
+    compat_dsl: Optional[str] = None
+    countries: Tuple[str, ...] = ("china",)
+    uses_simultaneous_open: bool = False
+    synack_payload: bool = False
+
+    def strategy(self) -> Strategy:
+        """The strategy as printed in the paper."""
+        return Strategy.parse(self.dsl, name=f"strategy-{self.number}")
+
+    def deployed(self) -> Strategy:
+        """The variant installed for evaluation."""
+        text = self.deployed_dsl if self.deployed_dsl is not None else self.dsl
+        return Strategy.parse(text, name=f"strategy-{self.number}")
+
+    def compat(self) -> Strategy:
+        """The §7 client-compatibility variant (falls back to deployed)."""
+        text = self.compat_dsl if self.compat_dsl is not None else self.dsl
+        return Strategy.parse(text, name=f"strategy-{self.number}-compat")
+
+
+# A window clamp maintained on every outbound packet class the server
+# emits, so induced segmentation persists beyond the first flight.
+_WINDOW_CLAMP_TAIL = (
+    " [TCP:flags:A]-tamper{TCP:window:replace:10}-|"
+    " [TCP:flags:PA]-tamper{TCP:window:replace:10}-|"
+    " [TCP:flags:FA]-tamper{TCP:window:replace:10}-| \\/"
+)
+
+SERVER_STRATEGIES: Dict[int, StrategyRecord] = {
+    1: StrategyRecord(
+        number=1,
+        name="Sim. Open, Injected RST",
+        dsl=(
+            "[TCP:flags:SA]-duplicate("
+            "tamper{TCP:flags:replace:R},"
+            "tamper{TCP:flags:replace:S})-| \\/"
+        ),
+        uses_simultaneous_open=True,
+    ),
+    2: StrategyRecord(
+        number=2,
+        name="Sim. Open, Injected Load",
+        dsl=(
+            "[TCP:flags:SA]-tamper{TCP:flags:replace:S}("
+            "duplicate(,tamper{TCP:load:corrupt}),)-| \\/"
+        ),
+        uses_simultaneous_open=True,
+    ),
+    3: StrategyRecord(
+        number=3,
+        name="Corrupt ACK, Sim. Open",
+        dsl=(
+            "[TCP:flags:SA]-duplicate("
+            "tamper{TCP:ack:corrupt},"
+            "tamper{TCP:flags:replace:S})-| \\/"
+        ),
+        uses_simultaneous_open=True,
+    ),
+    4: StrategyRecord(
+        number=4,
+        name="Corrupt ACK Alone",
+        dsl="[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},)-| \\/",
+    ),
+    5: StrategyRecord(
+        number=5,
+        name="Corrupt ACK, Injected Load",
+        dsl=(
+            "[TCP:flags:SA]-duplicate("
+            "tamper{TCP:ack:corrupt},"
+            "tamper{TCP:load:corrupt})-| \\/"
+        ),
+        compat_dsl=(
+            "[TCP:flags:SA]-duplicate("
+            "tamper{TCP:ack:corrupt},"
+            "duplicate(tamper{TCP:load:corrupt}(tamper{TCP:chksum:corrupt},),))-| \\/"
+        ),
+        synack_payload=True,
+    ),
+    6: StrategyRecord(
+        number=6,
+        name="Injected Load, Induced RST",
+        dsl=(
+            "[TCP:flags:SA]-duplicate(duplicate("
+            "tamper{TCP:flags:replace:F}(tamper{TCP:load:corrupt},),"
+            "tamper{TCP:ack:corrupt}),)-| \\/"
+        ),
+    ),
+    7: StrategyRecord(
+        number=7,
+        name="Injected RST, Induced RST",
+        dsl=(
+            "[TCP:flags:SA]-duplicate(duplicate("
+            "tamper{TCP:flags:replace:R},"
+            "tamper{TCP:ack:corrupt}),)-| \\/"
+        ),
+    ),
+    8: StrategyRecord(
+        number=8,
+        name="TCP Window Reduction",
+        dsl=(
+            "[TCP:flags:SA]-tamper{TCP:window:replace:10}("
+            "tamper{TCP:options-wscale:replace:},)-| \\/"
+        ),
+        deployed_dsl=(
+            "[TCP:flags:SA]-tamper{TCP:window:replace:10}("
+            "tamper{TCP:options-wscale:replace:},)-|" + _WINDOW_CLAMP_TAIL
+        ),
+        countries=("china", "india", "iran", "kazakhstan"),
+    ),
+    9: StrategyRecord(
+        number=9,
+        name="Triple Load",
+        dsl="[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate(duplicate,),)-| \\/",
+        compat_dsl=(
+            "[TCP:flags:SA]-duplicate("
+            "tamper{TCP:load:corrupt}(tamper{TCP:chksum:corrupt}"
+            "(duplicate(duplicate,),),),)-| \\/"
+        ),
+        countries=("kazakhstan",),
+        synack_payload=True,
+    ),
+    10: StrategyRecord(
+        number=10,
+        name="Double GET",
+        dsl="[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}(duplicate,)-| \\/",
+        compat_dsl=(
+            "[TCP:flags:SA]-duplicate("
+            "tamper{TCP:load:replace:GET / HTTP1.}(tamper{TCP:chksum:corrupt}"
+            "(duplicate,),),)-| \\/"
+        ),
+        countries=("kazakhstan",),
+        synack_payload=True,
+    ),
+    11: StrategyRecord(
+        number=11,
+        name="Null Flags",
+        dsl="[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/",
+        countries=("kazakhstan",),
+    ),
+}
+
+
+def strategy(number: int) -> Strategy:
+    """Strategy ``number`` (1–11) as printed in the paper."""
+    return SERVER_STRATEGIES[number].strategy()
+
+
+def deployed_strategy(number: int) -> Strategy:
+    """Strategy ``number`` in the form installed for evaluation."""
+    return SERVER_STRATEGIES[number].deployed()
+
+
+def compat_strategy(number: int) -> Strategy:
+    """Strategy ``number`` in its §7 client-compatibility form."""
+    return SERVER_STRATEGIES[number].compat()
+
+
+# ----------------------------------------------------------------------
+# Client-side strategies for §3's generalization experiment.
+#
+# Representative of Bock et al.'s working client-side species: each sends
+# an insertion packet (TTL-limited or checksum-corrupted so it reaches the
+# censor but not the server) that tears down the censor's TCB. The TTL
+# value 5 reaches a censor at hop 3 but not a server 10 hops away in the
+# default evaluation topology.
+
+def _teardown(trigger: str, flags: str, trick: str) -> str:
+    if trick == "ttl":
+        inner = f"tamper{{TCP:flags:replace:{flags}}}(tamper{{IP:ttl:replace:5}},)"
+    else:
+        inner = f"tamper{{TCP:flags:replace:{flags}}}(tamper{{TCP:chksum:corrupt}},)"
+    return f"[TCP:flags:{trigger}]-duplicate({inner},)-| \\/"
+
+
+#: Name -> client-side strategy string. The TCB-teardown species trigger
+#: on the client's handshake ACK or request and send an insertion
+#: teardown packet; the segmentation species split the request itself
+#: (the client-side counterpart of Strategy 8, which has no server-side
+#: analog — §3 discards it as such).
+CLIENT_SIDE_STRATEGIES: Dict[str, str] = {}
+for _trigger in ("A", "PA"):
+    for _flags in ("R", "RA"):
+        for _trick in ("ttl", "chksum"):
+            _name = f"teardown-{_flags.lower()}-{_trick}-on-{_trigger.lower()}"
+            CLIENT_SIDE_STRATEGIES[_name] = _teardown(_trigger, _flags, _trick)
+
+#: Client-side segmentation species (no server-side analog exists; they
+#: are excluded from §3's translation experiment, mirroring the paper's
+#: manual triage of 36 -> 25 strategies).
+CLIENT_SEGMENTATION_STRATEGIES: Dict[str, str] = {
+    "segmentation-8": "[TCP:flags:PA]-fragment{tcp:8:True}-| \\/",
+    "segmentation-4": "[TCP:flags:PA]-fragment{tcp:4:True}-| \\/",
+    "segmentation-8-ooo": "[TCP:flags:PA]-fragment{tcp:8:False}-| \\/",
+}
+
+
+def client_side_strategy(name: str) -> Strategy:
+    """A client-side strategy from the §3 corpus, by name."""
+    return Strategy.parse(CLIENT_SIDE_STRATEGIES[name], name=name)
+
+
+def server_side_analogs(name: str) -> List[Strategy]:
+    """§3's translation: the two server-side analogs of a client strategy.
+
+    Each client-side strategy sends an insertion packet during/after the
+    handshake; the analogs send the same insertion packet from the server,
+    once *before* and once *after* the SYN+ACK. The TTL trick is dropped
+    (a server-side TTL limit would stop the packet before the censor);
+    the insertion packet itself is kept byte-identical otherwise.
+    """
+    parts = name.split("-")
+    flags = parts[1].upper()
+    trick = parts[2]
+    if trick == "ttl":
+        insertion = f"tamper{{TCP:flags:replace:{flags}}}"
+    else:
+        insertion = (
+            f"tamper{{TCP:flags:replace:{flags}}}(tamper{{TCP:chksum:corrupt}},)"
+        )
+    before = Strategy.parse(
+        f"[TCP:flags:SA]-duplicate({insertion},)-| \\/",
+        name=f"{name}-server-before",
+    )
+    after = Strategy.parse(
+        f"[TCP:flags:SA]-duplicate(,{insertion})-| \\/",
+        name=f"{name}-server-after",
+    )
+    return [before, after]

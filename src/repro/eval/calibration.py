@@ -1,0 +1,121 @@
+"""Deriving GFW box profiles from Table 2 (the calibration method).
+
+The probabilities in :data:`repro.censors.gfw.profiles.CHINA_PROFILES`
+are not hand-tuned magic: each one inverts a closed-form relation between
+a Table 2 cell and the mechanism that produces it. This module implements
+those inversions, so given (a fresh measurement of) Table 2 one can
+recover a box profile — and the tests verify the shipped profiles are
+exactly what the paper's numbers imply.
+
+The relations (per protocol/box):
+
+- no-evasion success  = miss                      (per-try)
+- Strategy 1 success  = miss + (1-miss) · P(rst resync)
+- Strategy 2 success  = miss + (1-miss) · P(payload-on-SYN resync)
+- Strategy 4 success  = miss + (1-miss) · P(corrupt-ack resync)
+- Strategy 6 success  = miss + (1-miss) · (1-(1-P(payload-other))(1-P(corrupt-ack)))
+  (Strategy 6's second packet is a corrupted-ack SYN+ACK, so on boxes with
+  rule 3 — FTP — both triggers fire independently)
+- Strategy 3/5/7      = miss + (1-miss) · (1-(1-p_base)(1-p_combo))
+- Strategy 8 success  = miss + (1-miss) · P(reassembly failure)
+
+DNS cells are first deflated from 3-try totals: s_try = 1-(1-s)^(1/3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..censors.gfw.profiles import (
+    EVENT_CORRUPT_ACK,
+    EVENT_PAYLOAD_OTHER,
+    EVENT_PAYLOAD_SYN,
+    EVENT_RST,
+    EVENT_SYN,
+    EVENT_SYNACK_PAYLOAD,
+)
+
+__all__ = ["InferredProfile", "per_try_rate", "invert_rate", "calibrate_box"]
+
+
+def per_try_rate(total: float, tries: int = 1) -> float:
+    """Deflate an n-try success rate to its per-try rate."""
+    if not 0.0 <= total <= 1.0:
+        raise ValueError("rates must lie in [0, 1]")
+    if tries < 1:
+        raise ValueError("tries must be >= 1")
+    return 1.0 - (1.0 - total) ** (1.0 / tries)
+
+
+def invert_rate(success: float, miss: float) -> float:
+    """Solve ``success = miss + (1 - miss) * p`` for ``p`` (clamped)."""
+    if miss >= 1.0:
+        return 0.0
+    return min(1.0, max(0.0, (success - miss) / (1.0 - miss)))
+
+
+def _combo(base: float, combined: float) -> float:
+    """Solve ``combined = 1-(1-base)(1-x)`` for the combo probability x."""
+    if base >= 1.0:
+        return 0.0
+    return min(1.0, max(0.0, 1.0 - (1.0 - combined) / (1.0 - base)))
+
+
+@dataclass(frozen=True)
+class InferredProfile:
+    """Event/combo probabilities recovered from one Table 2 column."""
+
+    protocol: str
+    miss_prob: float
+    event_probs: Dict[str, float]
+    combo_probs: Dict[tuple, float]
+    reassembly_fail_prob: float
+
+
+def calibrate_box(
+    protocol: str,
+    column: Mapping[int, float],
+    tries: int = 1,
+) -> InferredProfile:
+    """Invert one Table 2 column (strategy number -> success fraction).
+
+    ``column`` must contain entries for strategies 0-8; ``tries`` deflates
+    multi-try protocols (3 for DNS).
+    """
+    rate = {number: per_try_rate(column[number], tries) for number in range(0, 9)}
+    miss = rate[0]
+    rst = invert_rate(rate[1], miss)
+    payload_syn = invert_rate(rate[2], miss)
+    corrupt_ack = invert_rate(rate[4], miss)
+    # Strategy 6 combines the payload rule with the corrupt-ack rule.
+    payload_other = _combo(corrupt_ack, invert_rate(rate[6], miss))
+    reassembly = invert_rate(rate[8], miss)
+
+    # Strategy 3 = corrupt-ack OR (corrupt-ack, bare-SYN) combo.
+    s3 = invert_rate(rate[3], miss)
+    combo_syn = _combo(corrupt_ack, s3)
+    # Strategy 5 = corrupt-ack OR (corrupt-ack, SYN+ACK-payload) combo.
+    s5 = invert_rate(rate[5], miss)
+    combo_payload = _combo(corrupt_ack, s5)
+    # Strategy 7 = rst OR corrupt-ack OR (rst, corrupt-ack) combo.
+    s7 = invert_rate(rate[7], miss)
+    after_rst = _combo(rst, s7)  # probability needed at the corrupt-ack step
+    combo_rst_ca = _combo(corrupt_ack, after_rst)
+
+    return InferredProfile(
+        protocol=protocol,
+        miss_prob=miss,
+        event_probs={
+            EVENT_RST: rst,
+            EVENT_PAYLOAD_SYN: payload_syn,
+            EVENT_PAYLOAD_OTHER: payload_other,
+            EVENT_CORRUPT_ACK: corrupt_ack,
+        },
+        combo_probs={
+            (EVENT_CORRUPT_ACK, EVENT_SYN): combo_syn,
+            (EVENT_CORRUPT_ACK, EVENT_SYNACK_PAYLOAD): combo_payload,
+            (EVENT_RST, EVENT_CORRUPT_ACK): combo_rst_ca,
+        },
+        reassembly_fail_prob=reassembly,
+    )

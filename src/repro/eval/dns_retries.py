@@ -1,0 +1,101 @@
+"""§4.2's DNS retry analysis: RFC 7766 retries amplify success rates.
+
+The paper observes that because DNS clients retry over TCP when a censor
+tears the connection down, a strategy that works 50% of the time reaches
+87.5% with 3 total tries. This module measures success versus the number
+of tries for a ~50% strategy and compares against the analytic curve
+``1 - (1 - p)^n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core import deployed_strategy
+from .runner import success_rate
+
+__all__ = [
+    "RetryCurve",
+    "measure_retry_curve",
+    "measure_client_profiles",
+    "analytic_curve",
+    "format_retry_curve",
+]
+
+
+@dataclass
+class RetryCurve:
+    """Measured and analytic success per retry count."""
+
+    per_try_rate: float
+    measured: Dict[int, float]
+    analytic: Dict[int, float]
+
+
+def analytic_curve(per_try: float, max_tries: int) -> Dict[int, float]:
+    """``1 - (1 - p)^n`` for n = 1..max_tries."""
+    return {n: 1 - (1 - per_try) ** n for n in range(1, max_tries + 1)}
+
+
+def measure_retry_curve(
+    strategy_number: int = 1,
+    max_tries: int = 5,
+    trials: int = 120,
+    seed: int = 0,
+) -> RetryCurve:
+    """Measure DNS success vs. tries for one strategy against China."""
+    strategy = deployed_strategy(strategy_number)
+    measured: Dict[int, float] = {}
+    for tries in range(1, max_tries + 1):
+        measured[tries] = success_rate(
+            "china",
+            "dns",
+            strategy,
+            trials=trials,
+            seed=seed + tries * 40_009,
+            dns_tries=tries,
+        )
+    per_try = measured[1]
+    return RetryCurve(
+        per_try_rate=per_try,
+        measured=measured,
+        analytic=analytic_curve(per_try, max_tries),
+    )
+
+
+def measure_client_profiles(
+    strategy_number: int = 1,
+    trials: int = 100,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Success per real-world DNS client retry profile (§4.2's list)."""
+    from ..apps.dns import DNS_CLIENT_PROFILES
+
+    strategy = deployed_strategy(strategy_number)
+    rates: Dict[str, float] = {}
+    for name, tries in DNS_CLIENT_PROFILES.items():
+        rates[name] = success_rate(
+            "china",
+            "dns",
+            strategy,
+            trials=trials,
+            seed=seed + tries * 50_021,
+            dns_tries=tries,
+        )
+    return rates
+
+
+def format_retry_curve(curve: RetryCurve) -> str:
+    """Render measured vs analytic amplification."""
+    lines = [
+        "§4 — DNS-over-TCP retry amplification "
+        f"(per-try rate {curve.per_try_rate * 100:.0f}%)"
+    ]
+    lines.append(f"{'tries':>6}{'measured':>12}{'1-(1-p)^n':>12}")
+    for tries in sorted(curve.measured):
+        lines.append(
+            f"{tries:>6}{curve.measured[tries] * 100:>11.0f}%"
+            f"{curve.analytic[tries] * 100:>11.0f}%"
+        )
+    return "\n".join(lines)

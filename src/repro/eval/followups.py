@@ -1,0 +1,231 @@
+"""§5's follow-up experiments: instrumented probes explaining *why*
+strategies work.
+
+Each probe reproduces one of the paper's causal experiments:
+
+- **Sequence-decrement probe** (Strategies 1/2): decrementing the
+  forbidden request's sequence number by 1 *restores* censorship about
+  half the time when the strategy runs — direct evidence of the
+  off-by-one desynchronization — and never triggers censorship without
+  the strategy.
+- **Induced-RST drop probe** (Strategies 5/6): suppressing the client's
+  induced RST kills Strategy 5 (the GFW resyncs on that RST) but leaves
+  Strategy 6 working (it resyncs on the corrupted SYN+ACK instead).
+- **RST-seq match probe** (Strategy 7): sending the forbidden request at
+  the induced RST's sequence number restores censorship, proving the GFW
+  synchronized onto the RST.
+- **Kazakhstan sweeps** (Strategies 9/10): payload count (three copies
+  required, more is fine), payload size (irrelevant), GET prefix
+  well-formedness (the trailing "." is required), and the censor-probing
+  injections (two GETs — or one after simultaneous open — are processed;
+  it is the *second* request that counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import Strategy, deployed_strategy
+from ..packets import Packet
+from .runner import Trial
+
+__all__ = [
+    "seq_offset_probe",
+    "drop_client_rst_probe",
+    "rst_seq_match_probe",
+    "kz_payload_count_sweep",
+    "kz_payload_size_sweep",
+    "kz_get_prefix_sweep",
+    "kz_injection_probe",
+]
+
+_MOD = 1 << 32
+
+
+def _run_with_client_hook(
+    country: str,
+    protocol: str,
+    strategy: Optional[Strategy],
+    hook,
+    seed: int,
+):
+    trial = Trial(country, protocol, strategy, seed=seed)
+    trial.client_host.outbound_filters.append(hook)
+    result = trial.run()
+    return trial, result
+
+
+def seq_offset_probe(
+    strategy_number: Optional[int],
+    offset: int = -1,
+    protocol: str = "http",
+    trials: int = 40,
+    seed: int = 0,
+) -> float:
+    """Fraction of trials censored when the client's request sequence
+    number is shifted by ``offset`` (the paper uses -1).
+    """
+
+    def make_hook():
+        def hook(packet: Packet) -> List[Packet]:
+            if packet.tcp.load:
+                packet = packet.copy()
+                packet.tcp.seq = (packet.tcp.seq + offset) % _MOD
+            return [packet]
+
+        return hook
+
+    strategy = None if strategy_number is None else deployed_strategy(strategy_number)
+    censored = 0
+    for index in range(trials):
+        _, result = _run_with_client_hook(
+            "china", protocol, strategy, make_hook(), seed=seed + index * 7919
+        )
+        censored += result.censored
+    return censored / trials
+
+
+def drop_client_rst_probe(
+    strategy_number: int,
+    protocol: str = "ftp",
+    trials: int = 40,
+    seed: int = 0,
+) -> float:
+    """Success rate when the client's induced RSTs never hit the wire."""
+
+    def hook(packet: Packet) -> List[Packet]:
+        if packet.tcp.is_rst:
+            return []
+        return [packet]
+
+    strategy = deployed_strategy(strategy_number)
+    successes = 0
+    for index in range(trials):
+        _, result = _run_with_client_hook(
+            "china", protocol, strategy, hook, seed=seed + index * 7919
+        )
+        successes += result.succeeded
+    return successes / trials
+
+
+def rst_seq_match_probe(
+    strategy_number: int = 7,
+    protocol: str = "http",
+    trials: int = 40,
+    seed: int = 0,
+) -> float:
+    """Fraction censored when the request is re-sequenced onto the RST.
+
+    The hook records the client's induced RST sequence number and rewrites
+    the forbidden request to start exactly there — if the GFW resynced on
+    the RST, censorship returns.
+    """
+    strategy = deployed_strategy(strategy_number)
+    censored = 0
+    for index in range(trials):
+        state = {"rst_seq": None}
+
+        def hook(packet: Packet, state=state) -> List[Packet]:
+            if packet.tcp.is_rst and not packet.tcp.is_ack:
+                state["rst_seq"] = packet.tcp.seq
+            elif packet.tcp.load and state["rst_seq"] is not None:
+                packet = packet.copy()
+                packet.tcp.seq = state["rst_seq"]
+            return [packet]
+
+        _, result = _run_with_client_hook(
+            "china", protocol, strategy, hook, seed=seed + index * 7919
+        )
+        censored += result.censored
+    return censored / trials
+
+
+# ----------------------------------------------------------------------
+# Kazakhstan sweeps
+
+
+def _kz_run(strategy: Strategy, seed: int = 0):
+    trial = Trial("kazakhstan", "http", strategy, seed=seed)
+    return trial.run()
+
+
+def kz_payload_count_sweep(max_copies: int = 4, seed: int = 0) -> Dict[int, bool]:
+    """Strategy 9 variant: how many payload-bearing SYN+ACKs are needed?"""
+    results: Dict[int, bool] = {}
+    for copies in range(1, max_copies + 1):
+        inner = "send"
+        for _ in range(copies - 1):
+            inner = f"duplicate({inner},)"
+        dsl = f"[TCP:flags:SA]-tamper{{TCP:load:corrupt}}({inner},)-| \\/"
+        results[copies] = _kz_run(Strategy.parse(dsl), seed=seed).succeeded
+    return results
+
+
+def kz_payload_size_sweep(sizes=(1, 8, 200), seed: int = 0) -> Dict[int, bool]:
+    """Strategy 9 variant: does the payload size matter? (It should not.)"""
+    results: Dict[int, bool] = {}
+    for size in sizes:
+        load = "Z" * size
+        dsl = (
+            f"[TCP:flags:SA]-tamper{{TCP:load:replace:{load}}}"
+            "(duplicate(duplicate,),)-| \\/"
+        )
+        results[size] = _kz_run(Strategy.parse(dsl), seed=seed).succeeded
+    return results
+
+
+def kz_get_prefix_sweep(seed: int = 0) -> Dict[str, bool]:
+    """Strategy 10 variant: which GET prefixes convince the censor?"""
+    cases = {
+        "GET / HTTP1.": True,       # the paper's minimal working prefix
+        "GET / HTTP1": False,       # dropping the "." breaks it
+        "GET /index.html HTTP1.": True,  # longer paths work
+        "HELLO": False,             # not a GET at all (counts as payload)
+    }
+    results: Dict[str, bool] = {}
+    for prefix in cases:
+        dsl = f"[TCP:flags:SA]-tamper{{TCP:load:replace:{prefix}}}(duplicate,)-| \\/"
+        results[prefix] = _kz_run(Strategy.parse(dsl), seed=seed).succeeded
+    return results
+
+
+def kz_injection_probe(seed: int = 0) -> Dict[str, bool]:
+    """The censor-probing experiment: which injections elicit a response?
+
+    Returns censor-responded flags for: two forbidden GETs, one forbidden
+    GET alone, simultaneous open + one forbidden GET, and a forbidden GET
+    followed by a benign GET (the second request is the one processed).
+    """
+    results: Dict[str, bool] = {}
+
+    def censored_by(dsl: str, seed_offset: int = 0) -> bool:
+        trial = Trial(
+            "kazakhstan",
+            "http",
+            Strategy.parse(dsl),
+            seed=seed + seed_offset,
+            workload={"path": "/", "host_header": "benign.example.com"},
+        )
+        trial.run()
+        return trial.censor.censorship_events > 0
+
+    # A complete forbidden request (tamper values may contain CRLF bytes).
+    forbidden_get = "GET / HTTP/1.1\r\nHost: blocked.example.kz\r\n\r\n"
+    benign_get = "GET / HTTP1."
+    results["double forbidden GET"] = censored_by(
+        f"[TCP:flags:SA]-tamper{{TCP:load:replace:{forbidden_get}}}(duplicate,)-| \\/"
+    )
+    results["single forbidden GET"] = censored_by(
+        f"[TCP:flags:SA]-tamper{{TCP:load:replace:{forbidden_get}}}-| \\/", 1
+    )
+    results["sim-open + forbidden GET"] = censored_by(
+        "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:S},"
+        f"tamper{{TCP:load:replace:{forbidden_get}}})-| \\/",
+        2,
+    )
+    results["forbidden then benign GET"] = censored_by(
+        f"[TCP:flags:SA]-duplicate(tamper{{TCP:load:replace:{forbidden_get}}},"
+        f"tamper{{TCP:load:replace:{benign_get}}})-| \\/",
+        3,
+    )
+    return results

@@ -1,0 +1,163 @@
+"""One-shot reproduction driver: regenerate every paper artifact.
+
+``python -m repro reproduce --out results/`` runs each experiment driver
+(at configurable scale) and writes the rendered artifacts — the same ones
+the benchmark suite produces — without needing pytest. Useful for
+downstream users who just want the numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["reproduce_all", "EXPERIMENTS"]
+
+
+def _table1() -> str:
+    from .matrix import format_matrix, measure_censorship_matrix
+
+    return format_matrix(measure_censorship_matrix(seed=0))
+
+
+def _table2(trials: int) -> str:
+    from .table2 import format_table2, generate_table2
+
+    return format_table2(generate_table2(trials=trials, seed=0))
+
+
+def _figure1() -> str:
+    from ..core import SERVER_STRATEGIES, deployed_strategy
+    from .waterfall import waterfall_for_trial
+
+    cases = {1: ("http", 3), 2: ("http", 1), 3: ("ftp", 3), 4: ("ftp", 23),
+             5: ("ftp", 1), 6: ("http", 23), 7: ("http", 23), 8: ("smtp", 1)}
+    sections = []
+    for number, (protocol, seed) in cases.items():
+        title = f"Strategy {number}: {SERVER_STRATEGIES[number].name} ({protocol})"
+        sections.append(
+            waterfall_for_trial("china", protocol, deployed_strategy(number),
+                                seed=seed, title=title)
+        )
+    return "\n\n".join(sections)
+
+
+def _figure2() -> str:
+    from ..core import SERVER_STRATEGIES, deployed_strategy
+    from .waterfall import waterfall_for_trial
+
+    sections = []
+    for number in (9, 10, 11):
+        title = f"Strategy {number}: {SERVER_STRATEGIES[number].name} (kazakhstan)"
+        sections.append(
+            waterfall_for_trial("kazakhstan", "http", deployed_strategy(number),
+                                seed=3, title=title)
+        )
+    return "\n\n".join(sections)
+
+
+def _figure3(trials: int) -> str:
+    from .multibox import (
+        format_dependence,
+        localize_boxes,
+        protocol_dependence,
+        single_box_profiles,
+    )
+
+    multi = protocol_dependence(7, trials=trials, seed=2)
+    single = protocol_dependence(7, trials=trials, seed=2,
+                                 profiles=single_box_profiles("http"))
+    hops = localize_boxes(max_ttl=6, seed=1)
+    hop_lines = [f"{protocol:<8} first censoring hop: {hop}" for protocol, hop in hops.items()]
+    return format_dependence(multi, single) + "\n\nTTL localization:\n" + "\n".join(hop_lines)
+
+
+def _section3(trials: int) -> str:
+    from .generalization import format_generalization, run_generalization
+
+    return format_generalization(run_generalization(trials=max(10, trials // 8), seed=4))
+
+
+def _section4(trials: int) -> str:
+    from .dns_retries import format_retry_curve, measure_retry_curve
+
+    return format_retry_curve(
+        measure_retry_curve(strategy_number=1, max_tries=5, trials=trials, seed=2)
+    )
+
+
+def _section7() -> str:
+    from .client_compat import format_os_matrix, run_network_matrix, run_os_matrix
+
+    matrix = run_os_matrix(seed=2)
+    lines = [format_os_matrix(matrix), "", "network matrix (android-10):"]
+    for network, row in run_network_matrix(seed=2).items():
+        cells = "  ".join(f"S{n}:{'ok' if ok else 'FAIL'}" for n, ok in sorted(row.items()))
+        lines.append(f"{network:<10} {cells}")
+    return "\n".join(lines)
+
+
+def _sweeps(trials: int) -> str:
+    from .sweeps import (
+        format_sweep,
+        mitm_retry_sweep,
+        resync_probability_sweep,
+        window_size_sweep,
+    )
+
+    parts = [
+        format_sweep(
+            "Strategy 8 success vs advertised window (India/HTTP)",
+            window_size_sweep(trials=6, seed=1),
+            "B",
+        ),
+        format_sweep(
+            "Strategy 1 success vs resync-entry probability",
+            resync_probability_sweep(trials=trials, seed=2),
+        ),
+        format_sweep("Kazakhstan MITM forwarding at t+delay", mitm_retry_sweep(), "s"),
+    ]
+    return "\n\n".join(parts)
+
+
+#: Experiment id -> renderer. Scaled renderers take the trial count.
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": lambda trials: _table1(),
+    "table2": _table2,
+    "figure1": lambda trials: _figure1(),
+    "figure2": lambda trials: _figure2(),
+    "figure3": _figure3,
+    "section3": _section3,
+    "section4": _section4,
+    "section7": lambda trials: _section7(),
+    "sweeps": _sweeps,
+}
+
+
+def reproduce_all(
+    out_dir: str,
+    trials: int = 150,
+    only: Optional[List[str]] = None,
+    echo: Callable[[str], None] = print,
+) -> List[str]:
+    """Regenerate the selected artifacts into ``out_dir``.
+
+    Returns the list of files written.
+    """
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    wanted = only if only else list(EXPERIMENTS)
+    written: List[str] = []
+    for name in wanted:
+        renderer = EXPERIMENTS.get(name)
+        if renderer is None:
+            raise ValueError(
+                f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+            )
+        echo(f"[{name}] running ...")
+        text = renderer(trials)
+        path = directory / f"{name}.txt"
+        path.write_text(text + "\n")
+        written.append(str(path))
+        echo(f"[{name}] wrote {path}")
+    return written

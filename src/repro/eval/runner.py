@@ -1,0 +1,309 @@
+"""Trial runner: one censored request through one censor with one strategy.
+
+This is the workhorse behind every table and figure. A :class:`Trial`
+assembles the full evaluation topology —
+
+    client ── r1 ── r2 ── censor ── r4 … r9 ── server
+              (hop 3 by default; server at hop 10)
+
+— installs the server-side (and optionally client-side) Geneva strategy,
+drives the protocol's censored request with an unmodified client stack,
+and reports the paper's success criterion: the connection is not torn
+down and the client receives the correct, unaltered data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..apps import (
+    DNSClient,
+    DNSServer,
+    FTPClient,
+    FTPServer,
+    HTTPClient,
+    HTTPSClient,
+    HTTPSServer,
+    HTTPServer,
+    SMTPClient,
+    SMTPServer,
+)
+from ..censors import (
+    AirtelCensor,
+    Censor,
+    GreatFirewall,
+    IranCensor,
+    KazakhstanCensor,
+)
+from ..core import Strategy, install_strategy
+from ..netsim import Middlebox, Network, Scheduler, Trace
+from ..tcpstack import Host, SERVER_PERSONALITY, personality
+
+__all__ = [
+    "Trial",
+    "TrialResult",
+    "run_trial",
+    "success_rate",
+    "CLIENT_IP",
+    "SERVER_IP",
+    "DEFAULT_CENSOR_HOP",
+    "DEFAULT_SERVER_HOP",
+    "COUNTRY_PROTOCOLS",
+    "censored_workload",
+    "benign_workload",
+    "default_port",
+]
+
+CLIENT_IP = "10.1.0.2"
+SERVER_IP = "192.0.2.10"
+
+#: Addresses used when a trial runs over IPv6 (documentation prefix).
+CLIENT_IP_V6 = "2001:db8:1::2"
+SERVER_IP_V6 = "2001:db8:ffff::10"
+
+DEFAULT_CENSOR_HOP = 3
+DEFAULT_SERVER_HOP = 10
+
+#: Protocols each country censors (Table 1 / §4.2).
+COUNTRY_PROTOCOLS: Dict[str, List[str]] = {
+    "china": ["dns", "ftp", "http", "https", "smtp"],
+    "india": ["http"],
+    "iran": ["http", "https"],
+    "kazakhstan": ["http"],
+}
+
+_CLIENT_CLASSES = {
+    "http": HTTPClient,
+    "https": HTTPSClient,
+    "dns": DNSClient,
+    "ftp": FTPClient,
+    "smtp": SMTPClient,
+}
+
+_SERVER_CLASSES = {
+    "http": HTTPServer,
+    "https": HTTPSServer,
+    "dns": DNSServer,
+    "ftp": FTPServer,
+    "smtp": SMTPServer,
+}
+
+_DEFAULT_PORTS = {"http": 80, "https": 443, "dns": 53, "ftp": 21, "smtp": 25}
+
+#: Censored request parameters per (country, protocol) — §4.2's workloads.
+_CENSORED_WORKLOADS: Dict[tuple, dict] = {
+    ("china", "http"): {"path": "/?q=ultrasurf", "host_header": "example.com"},
+    ("china", "https"): {"server_name": "www.wikipedia.org"},
+    ("china", "dns"): {"qname": "www.wikipedia.org"},
+    ("china", "ftp"): {"filename": "ultrasurf.txt"},
+    ("china", "smtp"): {"recipient": "xiazai@upup.info"},
+    ("india", "http"): {"path": "/", "host_header": "blocked.example.in"},
+    ("iran", "http"): {"path": "/", "host_header": "youtube.com"},
+    ("iran", "https"): {"server_name": "youtube.com"},
+    ("kazakhstan", "http"): {"path": "/", "host_header": "blocked.example.kz"},
+}
+
+_BENIGN_WORKLOADS: Dict[str, dict] = {
+    "http": {"path": "/?q=kittens", "host_header": "benign.example.com"},
+    "https": {"server_name": "benign.example.com"},
+    "dns": {"qname": "benign.example.com"},
+    "ftp": {"filename": "notes.txt"},
+    "smtp": {"recipient": "friend@example.org"},
+}
+
+
+def censored_workload(country: str, protocol: str) -> dict:
+    """Client parameters that trigger censorship for (country, protocol)."""
+    return dict(_CENSORED_WORKLOADS[(country, protocol)])
+
+
+def benign_workload(protocol: str) -> dict:
+    """Client parameters that no censor objects to."""
+    return dict(_BENIGN_WORKLOADS[protocol])
+
+
+def default_port(protocol: str) -> int:
+    """The protocol's default server port."""
+    return _DEFAULT_PORTS[protocol]
+
+
+def make_censor(country: Optional[str], rng: random.Random) -> Optional[Censor]:
+    """Instantiate the censor model for ``country`` (None = no censor)."""
+    if country is None:
+        return None
+    if country == "china":
+        return GreatFirewall(rng=rng)
+    if country == "india":
+        return AirtelCensor()
+    if country == "iran":
+        return IranCensor()
+    if country == "kazakhstan":
+        return KazakhstanCensor()
+    raise ValueError(f"unknown country {country!r}")
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one trial.
+
+    Attributes:
+        outcome: Client application outcome (``"success"`` etc.).
+        succeeded: The paper's evasion criterion was met.
+        censored: The censor took at least one censorship action.
+        detail: Free-form outcome detail from the client app.
+        trace: Full packet trace of the trial.
+    """
+
+    outcome: str
+    succeeded: bool
+    censored: bool
+    detail: str = ""
+    trace: Optional[Trace] = None
+
+
+class Trial:
+    """One fully-assembled evaluation run (build, then :meth:`run`)."""
+
+    def __init__(
+        self,
+        country: Optional[str],
+        protocol: str,
+        server_strategy: Optional[Strategy] = None,
+        client_strategy: Optional[Strategy] = None,
+        seed: int = 0,
+        client_os: str = "ubuntu-18.04.1",
+        workload: Optional[dict] = None,
+        server_port: Optional[int] = None,
+        censor_hop: int = DEFAULT_CENSOR_HOP,
+        server_hop: int = DEFAULT_SERVER_HOP,
+        client_side_boxes: Sequence[Middlebox] = (),
+        dns_tries: int = 3,
+        censor: Optional[Censor] = None,
+        max_time: float = 40.0,
+        client_ip: Optional[str] = None,
+        strategy_at_hop: Optional[int] = None,
+        ip_version: int = 4,
+    ) -> None:
+        if ip_version not in (4, 6):
+            raise ValueError("ip_version must be 4 or 6")
+        server_ip = SERVER_IP_V6 if ip_version == 6 else SERVER_IP
+        if client_ip is None:
+            client_ip = CLIENT_IP_V6 if ip_version == 6 else CLIENT_IP
+        self.server_ip = server_ip
+        self.protocol = protocol
+        self.max_time = max_time
+        self.scheduler = Scheduler()
+        base = random.Random(seed)
+        censor_rng = random.Random(base.randrange(1 << 30))
+        client_rng = random.Random(base.randrange(1 << 30))
+        server_rng = random.Random(base.randrange(1 << 30))
+        strategy_rng = random.Random(base.randrange(1 << 30))
+
+        self.client_host = Host(
+            "client", client_ip, self.scheduler, client_rng, personality(client_os)
+        )
+        self.server_host = Host(
+            "server", server_ip, self.scheduler, server_rng, SERVER_PERSONALITY
+        )
+
+        self.censor = censor if censor is not None else make_censor(country, censor_rng)
+        middleboxes: List[Middlebox] = list(client_side_boxes)
+        pad_before = censor_hop - 1 - len(middleboxes)
+        middleboxes.extend(Middlebox() for _ in range(max(0, pad_before)))
+        if self.censor is not None:
+            middleboxes.append(self.censor)
+        while len(middleboxes) < server_hop - 1:
+            middleboxes.append(Middlebox())
+
+        self.server_engine = None
+        if (
+            strategy_at_hop is not None
+            and server_strategy is not None
+            and not server_strategy.is_noop()
+        ):
+            # §8 mid-path deployment: run the strategy at a middlebox on
+            # the path between the censor and the server.
+            from ..deploy import StrategyMiddlebox
+
+            if not (censor_hop < strategy_at_hop < server_hop):
+                raise ValueError(
+                    "strategy_at_hop must lie between the censor and the server"
+                )
+            proxy = StrategyMiddlebox(server_strategy, strategy_rng)
+            middleboxes[strategy_at_hop - 1] = proxy
+            self.server_engine = proxy
+            server_strategy = None
+
+        self.network = Network(
+            self.scheduler, self.client_host, self.server_host, middleboxes
+        )
+        self.client_host.attach(self.network)
+        self.server_host.attach(self.network)
+
+        if server_strategy is not None and not server_strategy.is_noop():
+            self.server_engine = install_strategy(
+                self.server_host, server_strategy, strategy_rng
+            )
+        self.client_engine = None
+        if client_strategy is not None and not client_strategy.is_noop():
+            self.client_engine = install_strategy(
+                self.client_host, client_strategy, strategy_rng
+            )
+
+        port = server_port if server_port is not None else default_port(protocol)
+        self.server_app = _SERVER_CLASSES[protocol](self.server_host, port)
+        self.server_app.install()
+
+        params = workload if workload is not None else (
+            censored_workload(country, protocol)
+            if country is not None and (country, protocol) in _CENSORED_WORKLOADS
+            else benign_workload(protocol)
+        )
+        client_cls = _CLIENT_CLASSES[protocol]
+        if protocol == "dns":
+            params.setdefault("tries", dns_tries)
+        self.client_app = client_cls(self.client_host, server_ip, port, **params)
+
+    def run(self) -> TrialResult:
+        """Execute the trial to quiescence and report the outcome."""
+        self.client_app.start()
+        self.network.run(until=self.max_time)
+        outcome = self.client_app.outcome or "timeout"
+        return TrialResult(
+            outcome=outcome,
+            succeeded=self.client_app.succeeded,
+            censored=self.censor.censorship_events > 0 if self.censor else False,
+            detail=getattr(self.client_app, "detail", ""),
+            trace=self.network.trace,
+        )
+
+
+def run_trial(
+    country: Optional[str],
+    protocol: str,
+    server_strategy: Optional[Strategy] = None,
+    seed: int = 0,
+    **kwargs,
+) -> TrialResult:
+    """Build and run a single trial (see :class:`Trial` for options)."""
+    return Trial(country, protocol, server_strategy, seed=seed, **kwargs).run()
+
+
+def success_rate(
+    country: Optional[str],
+    protocol: str,
+    server_strategy: Optional[Strategy],
+    trials: int = 100,
+    seed: int = 0,
+    **kwargs,
+) -> float:
+    """Fraction of ``trials`` independent runs that evade censorship."""
+    successes = 0
+    for index in range(trials):
+        result = run_trial(
+            country, protocol, server_strategy, seed=seed + index * 7919, **kwargs
+        )
+        successes += result.succeeded
+    return successes / trials

@@ -1,0 +1,91 @@
+"""Statistics helpers for experiment reporting.
+
+Success rates in Table 2 are binomial proportions; these helpers provide
+Wilson score confidence intervals (well-behaved near 0% and 100%, unlike
+the normal approximation) and a two-proportion z-test used to decide
+whether a measured rate is consistent with the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "Proportion",
+    "wilson_interval",
+    "two_proportion_z",
+    "rates_consistent",
+]
+
+#: z for a 95% two-sided interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """A measured binomial proportion.
+
+    Attributes:
+        successes: Number of successes.
+        trials: Number of trials.
+    """
+
+    successes: int
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+        if not 0 <= self.successes <= self.trials:
+            raise ValueError("successes must lie in [0, trials]")
+
+    @property
+    def rate(self) -> float:
+        """The point estimate."""
+        return self.successes / self.trials
+
+    def interval(self, z: float = Z_95) -> Tuple[float, float]:
+        """Wilson score interval for this proportion."""
+        return wilson_interval(self.successes, self.trials, z)
+
+    def __str__(self) -> str:
+        low, high = self.interval()
+        return f"{self.rate * 100:.1f}% [{low * 100:.1f}, {high * 100:.1f}]"
+
+
+def wilson_interval(successes: int, trials: int, z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    low = 0.0 if successes == 0 else max(0.0, centre - margin)
+    high = 1.0 if successes == trials else min(1.0, centre + margin)
+    return (low, high)
+
+
+def two_proportion_z(a: Proportion, b: Proportion) -> float:
+    """Two-proportion z statistic (pooled)."""
+    pooled = (a.successes + b.successes) / (a.trials + b.trials)
+    variance = pooled * (1 - pooled) * (1 / a.trials + 1 / b.trials)
+    if variance == 0:
+        return 0.0
+    return (a.rate - b.rate) / math.sqrt(variance)
+
+
+def rates_consistent(
+    measured: Proportion, paper_pct: float, paper_trials: int = 100, z: float = Z_95
+) -> bool:
+    """Whether a measured rate is statistically consistent with a paper rate.
+
+    The paper does not report its per-cell sample sizes; ``paper_trials``
+    is a conservative assumption used to build the comparison proportion.
+    """
+    paper = Proportion(
+        successes=round(paper_pct / 100 * paper_trials), trials=paper_trials
+    )
+    return abs(two_proportion_z(measured, paper)) <= z

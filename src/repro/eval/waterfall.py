@@ -1,0 +1,124 @@
+"""ASCII packet-waterfall diagrams (regenerates Figures 1 and 2).
+
+The renderer consumes a trial's :class:`~repro.netsim.Trace` and draws a
+client/server sequence diagram annotated the way the paper's figures are:
+``(w/ load)`` for payload-bearing packets, ``(bad ackno)`` for SYN+ACKs
+whose ack number does not acknowledge the client's ISN, ``(small
+window)``, ``(bad chksum)``, and ``(rand load)`` / ``(benign GET)`` for
+Kazakhstan's Strategies 9 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..netsim import Trace, TraceEvent
+from ..packets import Packet
+
+__all__ = ["render_waterfall", "packet_label", "waterfall_for_trial"]
+
+_MOD = 1 << 32
+_WIDTH = 34
+
+
+def packet_label(
+    packet: Packet, client_isn: Optional[int], from_server: bool = True
+) -> str:
+    """Human-readable label for one packet, in the paper's figure style.
+
+    ``from_server`` controls the ``(bad ackno)`` annotation, which only
+    makes sense for server-to-client SYN+ACKs (a client's simultaneous-
+    open SYN+ACK acknowledges the *server's* ISN).
+    """
+    if packet.udp is not None:
+        return f"UDP ({len(packet.load)}B)"
+    flags = packet.flags
+    name = {
+        "S": "SYN",
+        "SA": "SYN/ACK",
+        "A": "ACK",
+        "PA": "PSH/ACK",
+        "FA": "FIN/ACK",
+        "FPA": "FIN/PSH/ACK",
+        "R": "RST",
+        "RA": "RST/ACK",
+        "F": "FIN",
+    }.get(flags, flags if flags else "(no flags)")
+    notes: List[str] = []
+    if packet.load:
+        text = bytes(packet.load[:16])
+        if text.startswith(b"GET "):
+            notes.append("w/ GET load")
+        else:
+            notes.append("w/ load")
+    if (
+        from_server
+        and packet.tcp.is_synack
+        and client_isn is not None
+        and packet.tcp.ack != (client_isn + 1) % _MOD
+    ):
+        notes.append("bad ackno")
+    if packet.tcp.is_synack and packet.tcp.window <= 64:
+        notes.append("small window")
+    if packet.tcp.chksum_override is not None:
+        notes.append("bad chksum")
+    if notes:
+        return f"{name} ({', '.join(notes)})"
+    return name
+
+
+def render_waterfall(trace: Trace, title: str = "") -> str:
+    """Render a client/server waterfall from a trial trace.
+
+    Wire events are taken from ``send`` at the endpoints and ``inject`` at
+    middleboxes; censor injections are marked with ``*``.
+    """
+    client_isn: Optional[int] = None
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'Client':<10}{'':<{_WIDTH}}{'Server':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    for event in trace.events:
+        if event.packet is None:
+            continue
+        packet = event.packet
+        if event.kind == "send" and event.location == "client":
+            if packet.tcp.is_syn and client_isn is None:
+                client_isn = packet.tcp.seq
+            label = packet_label(packet, client_isn, from_server=False)
+            lines.append(f"  {label:<{_WIDTH}}--->")
+        elif event.kind == "send" and event.location == "server":
+            label = packet_label(packet, client_isn)
+            lines.append(f"  {'<---':<6}{label:>{_WIDTH}}")
+        elif event.kind == "inject":
+            label = packet_label(packet, client_isn) + " *"
+            toward_client = "toward client" in event.detail
+            if toward_client:
+                lines.append(f"  {'<~~~':<6}{label:>{_WIDTH}}  [{event.location}]")
+            else:
+                lines.append(f"  [{event.location}]  {label:<{_WIDTH}}~~~>")
+        elif event.kind == "censor":
+            lines.append(f"  !! censor action: {event.detail}")
+        elif event.kind == "drop" and "blackholed" in event.detail:
+            lines.append(f"  xx dropped by censor: {packet_label(packet, client_isn)}")
+    return "\n".join(lines)
+
+
+def waterfall_for_trial(
+    country: str,
+    protocol: str,
+    strategy,
+    seed: int = 1,
+    title: str = "",
+    **kwargs,
+) -> str:
+    """Run one trial and render its waterfall (used by Figures 1 and 2)."""
+    from .runner import run_trial  # local import avoids a module cycle
+
+    result = run_trial(country, protocol, strategy, seed=seed, **kwargs)
+    prefix = title if title else f"{country}/{protocol}"
+    heading = f"{prefix} — outcome: {result.outcome}"
+    return render_waterfall(result.trace, title=heading)

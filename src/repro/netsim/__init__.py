@@ -1,0 +1,31 @@
+"""Discrete-event network simulator.
+
+Provides the virtual-time :class:`~repro.netsim.events.Scheduler`, the
+two-endpoint :class:`~repro.netsim.network.Network` path with middlebox
+chains and TTL semantics, the :class:`~repro.netsim.middlebox.Middlebox`
+interface censors implement, and packet :class:`~repro.netsim.trace.Trace`
+recording for waterfall diagrams.
+"""
+
+from .events import Scheduler, Timer
+from .middlebox import DIRECTION_C2S, DIRECTION_S2C, Middlebox, PathContext, TransparentTap
+from .network import Network, NetworkNode
+from .pcap import read_pcap, trace_to_pcap_bytes, write_pcap
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "DIRECTION_C2S",
+    "DIRECTION_S2C",
+    "Middlebox",
+    "Network",
+    "NetworkNode",
+    "PathContext",
+    "Scheduler",
+    "Timer",
+    "Trace",
+    "TraceEvent",
+    "TransparentTap",
+    "read_pcap",
+    "trace_to_pcap_bytes",
+    "write_pcap",
+]

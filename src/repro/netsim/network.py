@@ -1,0 +1,131 @@
+"""The simulated client–path–server network.
+
+Every experiment in the paper uses the same topology: one client (inside
+the censoring country), one server (outside), and censoring middleboxes on
+the path between them. :class:`Network` models that path as an ordered
+middlebox chain with a constant per-hop delay, TTL decrementing (so
+TTL-limited insertion packets and censor-localization probes behave
+faithfully), and full packet tracing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+from ..packets import Packet
+from .events import Scheduler
+from .middlebox import DIRECTION_C2S, DIRECTION_S2C, Middlebox, PathContext
+from .trace import Trace
+
+__all__ = ["Network", "NetworkNode"]
+
+
+class NetworkNode(Protocol):
+    """Anything attachable to an end of the network path."""
+
+    ip: str
+    name: str
+
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet delivered off the wire."""
+
+
+class Network:
+    """A two-endpoint network path with middleboxes.
+
+    Hop numbering: middlebox ``i`` (0-indexed from the client side) sits at
+    hop ``i + 1`` from the client; the server is at hop
+    ``len(middleboxes) + 1``. A packet with TTL ``t`` sent by the client is
+    observed by middleboxes ``0 .. t-1`` and reaches the server only when
+    ``t`` exceeds the number of middleboxes — exactly the arithmetic needed
+    for TTL-limited insertion packets and §6's censor localization probes.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        client: NetworkNode,
+        server: NetworkNode,
+        middleboxes: Sequence[Middlebox] = (),
+        hop_delay: float = 0.005,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.client = client
+        self.server = server
+        self.middleboxes: List[Middlebox] = list(middleboxes)
+        self.hop_delay = hop_delay
+        self.trace = trace if trace is not None else Trace()
+        self._contexts = [
+            PathContext(self, index, getattr(box, "name", f"mb{index}"))
+            for index, box in enumerate(self.middleboxes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Entry points
+
+    def send_from(self, node: NetworkNode, packet: Packet) -> None:
+        """Transmit ``packet`` originating at endpoint ``node``."""
+        if node is self.client:
+            direction = DIRECTION_C2S
+            start = 0
+        elif node is self.server:
+            direction = DIRECTION_S2C
+            start = len(self.middleboxes) - 1
+        else:
+            raise ValueError(f"unknown endpoint {node!r}")
+        self.trace.record(self.scheduler.now, "send", node.name, packet)
+        self._schedule_hop(packet, direction, start, packet.ip.ttl)
+
+    def inject_from(self, position: int, packet: Packet, toward: str, name: str) -> None:
+        """Inject ``packet`` at middlebox ``position`` heading ``toward`` an end."""
+        self.trace.record(self.scheduler.now, "inject", name, packet, f"toward {toward}")
+        if toward == "server":
+            direction = DIRECTION_C2S
+            start = position + 1
+        elif toward == "client":
+            direction = DIRECTION_S2C
+            start = position - 1
+        else:
+            raise ValueError(f"toward must be 'client' or 'server', not {toward!r}")
+        self._schedule_hop(packet, direction, start, packet.ip.ttl)
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Advance the simulation (delegates to the scheduler)."""
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Path walking
+
+    def _schedule_hop(self, packet: Packet, direction: str, index: int, ttl: int) -> None:
+        self.scheduler.schedule(
+            self.hop_delay, lambda: self._hop(packet, direction, index, ttl)
+        )
+
+    def _hop(self, packet: Packet, direction: str, index: int, ttl: int) -> None:
+        past_chain = index >= len(self.middleboxes) if direction == DIRECTION_C2S else index < 0
+        if past_chain:
+            self._deliver(packet, direction, ttl)
+            return
+        if ttl < 1:
+            self.trace.record(
+                self.scheduler.now, "drop", f"hop{index}", packet, "ttl expired"
+            )
+            return
+        box = self.middleboxes[index]
+        ctx = self._contexts[index]
+        forwarded = list(box.process(packet, direction, ctx))
+        next_index = index + 1 if direction == DIRECTION_C2S else index - 1
+        if not forwarded:
+            self.trace.record(self.scheduler.now, "drop", ctx.name, packet, "dropped in-path")
+            return
+        for out in forwarded:
+            self._schedule_hop(out, direction, next_index, ttl - 1)
+
+    def _deliver(self, packet: Packet, direction: str, ttl: int) -> None:
+        node = self.server if direction == DIRECTION_C2S else self.client
+        if ttl < 1:
+            self.trace.record(self.scheduler.now, "drop", node.name, packet, "ttl expired")
+            return
+        self.trace.record(self.scheduler.now, "recv", node.name, packet)
+        node.receive(packet)

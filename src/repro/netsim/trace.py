@@ -1,0 +1,77 @@
+"""Packet traces for experiments and waterfall rendering.
+
+A :class:`Trace` collects every observable event in a trial — packets sent
+and received by the endpoints, censor injections, and drops — with virtual
+timestamps. The waterfall renderer in :mod:`repro.eval.waterfall` consumes
+these to regenerate the paper's Figure 1 / Figure 2 diagrams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..packets import Packet
+
+__all__ = ["Trace", "TraceEvent"]
+
+
+@dataclass
+class TraceEvent:
+    """One observable event in a trial.
+
+    Attributes:
+        time: Virtual timestamp of the event.
+        kind: ``"send"``, ``"recv"``, ``"inject"``, ``"drop"`` or
+            ``"censor"``.
+        location: Where it happened (host or middlebox name).
+        packet: The packet involved, if any (a defensive copy).
+        detail: Free-form annotation (drop reason, censor verdict, ...).
+    """
+
+    time: float
+    kind: str
+    location: str
+    packet: Optional[Packet] = None
+    detail: str = ""
+
+    def summary(self) -> str:
+        """One-line human-readable rendering of this event."""
+        packet = f" {self.packet!r}" if self.packet is not None else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time:9.4f}] {self.kind:>6} @{self.location}{packet}{detail}"
+
+
+@dataclass
+class Trace:
+    """An append-only log of :class:`TraceEvent` items."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        location: str,
+        packet: Optional[Packet] = None,
+        detail: str = "",
+    ) -> None:
+        """Append an event, defensively copying the packet."""
+        copied = packet.copy() if packet is not None else None
+        self.events.append(TraceEvent(time, kind, location, copied, detail))
+
+    def filter(self, kind: Optional[str] = None, location: Optional[str] = None) -> List[TraceEvent]:
+        """Return events matching the given kind and/or location."""
+        result = self.events
+        if kind is not None:
+            result = [event for event in result if event.kind == kind]
+        if location is not None:
+            result = [event for event in result if event.location == location]
+        return list(result)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def dump(self) -> str:
+        """Render the whole trace as text, one event per line."""
+        return "\n".join(event.summary() for event in self.events)

@@ -1,0 +1,82 @@
+"""Internet checksum computation (RFC 1071) and the TCP pseudo-header.
+
+These helpers are used by the IPv4 and TCP layers when serializing packets.
+They are implemented from scratch so the packet model has no dependency on
+scapy or the host network stack.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["internet_checksum", "tcp_checksum", "pseudo_header"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement internet checksum of ``data``.
+
+    Odd-length input is implicitly padded with a trailing zero byte, as
+    specified by RFC 1071.
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    # Fold carries until the sum fits in 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src_ip: str, dst_ip: str, proto: int, length: int) -> bytes:
+    """Build the pseudo-header used in TCP/UDP checksum computation.
+
+    Addresses containing ``:`` select the IPv6 pseudo-header (RFC 2460
+    §8.1); otherwise the IPv4 one is built.
+    """
+    if ":" in src_ip or ":" in dst_ip:
+        from .ipv6 import v6_to_bytes  # deferred: avoids an import cycle
+
+        return struct.pack(
+            "!16s16sIBBBB",
+            v6_to_bytes(src_ip),
+            v6_to_bytes(dst_ip),
+            length,
+            0,
+            0,
+            0,
+            proto,
+        )
+    return struct.pack(
+        "!4s4sBBH",
+        _ip_to_bytes(src_ip),
+        _ip_to_bytes(dst_ip),
+        0,
+        proto,
+        length,
+    )
+
+
+def tcp_checksum(src_ip: str, dst_ip: str, segment: bytes) -> int:
+    """Compute the TCP checksum for ``segment`` between the given addresses.
+
+    ``segment`` must be the full TCP header plus payload with the checksum
+    field zeroed. Works for IPv4 and IPv6 address pairs.
+    """
+    header = pseudo_header(src_ip, dst_ip, 6, len(segment))
+    return internet_checksum(header + segment)
+
+
+def _ip_to_bytes(address: str) -> bytes:
+    """Convert a dotted-quad IPv4 address into its 4-byte representation."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    try:
+        octets = [int(part) for part in parts]
+    except ValueError as exc:
+        raise ValueError(f"invalid IPv4 address: {address!r}") from exc
+    if any(octet < 0 or octet > 255 for octet in octets):
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    return bytes(octets)

@@ -1,0 +1,97 @@
+"""Field metadata shared by packet layers.
+
+Geneva's ``tamper`` action addresses header fields by ``protocol:field``
+name and supports two modes: ``replace`` (parse a new value from a string)
+and ``corrupt`` (overwrite the field with an equal number of random bits).
+Each packet layer exposes a ``FIELDS`` registry of :class:`FieldSpec`
+entries implementing both modes uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["FieldSpec", "corrupt_value", "parse_replace_value"]
+
+# Flag letters accepted in TCP flag strings, in serialization bit order.
+TCP_FLAG_LETTERS = "FSRPAUEC"
+
+# Default payload length range used when corrupting an empty load; the
+# original Geneva generates a short random payload in this situation.
+_EMPTY_LOAD_MIN = 4
+_EMPTY_LOAD_MAX = 12
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Description of one tamperable header field.
+
+    Attributes:
+        name: The Geneva field name (e.g. ``"flags"``, ``"ack"``).
+        kind: One of ``"int"``, ``"flags"``, ``"bytes"``, ``"ip"`` or
+            ``"options"``; selects parsing and corruption behaviour.
+        bits: Width in bits for integer fields (bounds random corruption).
+        get: Callable returning the field's current value from a layer.
+        set: Callable storing a new value into a layer.
+    """
+
+    name: str
+    kind: str
+    bits: int
+    get: Callable[[Any], Any]
+    set: Callable[[Any, Any], None]
+
+
+def corrupt_value(spec: FieldSpec, current: Any, rng: random.Random) -> Any:
+    """Produce a random replacement for ``current`` according to ``spec``.
+
+    Integer fields get a uniformly random value of the same bit width;
+    flags get a random flag combination; byte fields get random bytes of
+    the same length (or a short random payload when currently empty); IP
+    addresses get four random octets.
+    """
+    if spec.kind == "int":
+        return rng.getrandbits(spec.bits)
+    if spec.kind == "flags":
+        letters = [letter for letter in TCP_FLAG_LETTERS if rng.random() < 0.5]
+        return "".join(letters)
+    if spec.kind == "bytes":
+        length = len(current) if current else rng.randint(_EMPTY_LOAD_MIN, _EMPTY_LOAD_MAX)
+        return bytes(rng.getrandbits(8) for _ in range(length))
+    if spec.kind == "ip":
+        if spec.bits == 128:
+            return ":".join(f"{rng.getrandbits(16):x}" for _ in range(8))
+        return ".".join(str(rng.getrandbits(8)) for _ in range(4))
+    if spec.kind == "options":
+        # Corrupting the options field empties it; real Geneva replaces
+        # options with random bytes which no stack parses, so the observable
+        # effect is equivalent to removal.
+        return []
+    raise ValueError(f"cannot corrupt field kind {spec.kind!r}")
+
+
+def parse_replace_value(spec: FieldSpec, text: str) -> Any:
+    """Parse the ``newValue`` string of a ``tamper ... replace`` action."""
+    if spec.kind == "int":
+        if text == "":
+            return 0
+        return int(text)
+    if spec.kind == "flags":
+        value = text.strip().upper()
+        bad = set(value) - set(TCP_FLAG_LETTERS)
+        if bad:
+            raise ValueError(f"unknown TCP flag letters: {sorted(bad)}")
+        return value
+    if spec.kind == "bytes":
+        return text.encode("utf-8")
+    if spec.kind == "ip":
+        return text
+    if spec.kind == "options":
+        # Replacing options with the empty string removes them; this is the
+        # form used by Strategy 8 (``options-wscale:replace:``).
+        if text == "":
+            return []
+        raise ValueError("only option removal (empty value) is supported")
+    raise ValueError(f"cannot replace field kind {spec.kind!r}")

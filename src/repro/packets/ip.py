@@ -1,0 +1,211 @@
+"""IPv4 header layer.
+
+Implements a from-scratch IPv4 header with byte-level serialization and
+parsing, automatic length/checksum computation (with explicit overrides so
+Geneva's ``tamper`` can plant corrupted values), and the Geneva field
+registry for tampering.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .checksum import internet_checksum
+from .fields import FieldSpec
+
+__all__ = ["IPv4"]
+
+IP_PROTO_TCP = 6
+
+# IP header flag bits (in the 3-bit flags field).
+FLAG_DF = 0b010
+FLAG_MF = 0b001
+
+
+class IPv4:
+    """A mutable IPv4 header.
+
+    The ``len`` and ``chksum`` fields are computed at serialization time
+    unless explicitly overridden via :attr:`len_override` /
+    :attr:`chksum_override` (which is what ``tamper`` does when targeting
+    them — Geneva deliberately does not fix up a tampered checksum or
+    length).
+    """
+
+    def __init__(
+        self,
+        src: str = "0.0.0.0",
+        dst: str = "0.0.0.0",
+        ttl: int = 64,
+        proto: int = IP_PROTO_TCP,
+        ident: int = 0,
+        tos: int = 0,
+        flags: int = FLAG_DF,
+        frag: int = 0,
+    ) -> None:
+        self.version = 4
+        self.ihl = 5
+        self.tos = tos
+        self.ident = ident
+        self.flags = flags
+        self.frag = frag
+        self.ttl = ttl
+        self.proto = proto
+        self.src = src
+        self.dst = dst
+        self.len_override: Optional[int] = None
+        self.chksum_override: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Serialization
+
+    def header_length(self) -> int:
+        """Length of the serialized header in bytes."""
+        return self.ihl * 4
+
+    def serialize(self, payload: bytes) -> bytes:
+        """Serialize the header followed by ``payload``.
+
+        Computes total length and header checksum unless overridden.
+        """
+        total_len = self.len_override
+        if total_len is None:
+            total_len = self.header_length() + len(payload)
+        flags_frag = ((self.flags & 0x7) << 13) | (self.frag & 0x1FFF)
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (self.version << 4) | self.ihl,
+            self.tos,
+            total_len & 0xFFFF,
+            self.ident & 0xFFFF,
+            flags_frag,
+            self.ttl & 0xFF,
+            self.proto & 0xFF,
+            0,
+            _ip_bytes(self.src),
+            _ip_bytes(self.dst),
+        )
+        chksum = self.chksum_override
+        if chksum is None:
+            chksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", chksum & 0xFFFF) + header[12:]
+        return header + payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["IPv4", bytes]:
+        """Parse an IPv4 header from ``data``; return (header, payload)."""
+        if len(data) < 20:
+            raise ValueError("truncated IPv4 header")
+        (
+            version_ihl,
+            tos,
+            total_len,
+            ident,
+            flags_frag,
+            ttl,
+            proto,
+            chksum,
+            src,
+            dst,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[:20])
+        header = cls(
+            src=_bytes_ip(src),
+            dst=_bytes_ip(dst),
+            ttl=ttl,
+            proto=proto,
+            ident=ident,
+            tos=tos,
+            flags=(flags_frag >> 13) & 0x7,
+            frag=flags_frag & 0x1FFF,
+        )
+        header.version = version_ihl >> 4
+        header.ihl = version_ihl & 0xF
+        header_len = header.header_length()
+        if header_len < 20 or len(data) < header_len:
+            raise ValueError("invalid IPv4 header length")
+        payload = data[header_len:total_len] if total_len >= header_len else data[header_len:]
+        # Record the on-wire checksum so a corrupted value survives a
+        # parse/serialize round trip.
+        expected = internet_checksum(data[:10] + b"\x00\x00" + data[12:header_len])
+        if chksum != expected:
+            header.chksum_override = chksum
+        return header, payload
+
+    def checksum_ok(self, raw_header: bytes) -> bool:
+        """Whether ``raw_header`` carries a valid IPv4 header checksum."""
+        return internet_checksum(raw_header) == 0
+
+    # ------------------------------------------------------------------
+    # Misc
+
+    def copy(self) -> "IPv4":
+        """Return an independent copy of this header."""
+        clone = IPv4(
+            src=self.src,
+            dst=self.dst,
+            ttl=self.ttl,
+            proto=self.proto,
+            ident=self.ident,
+            tos=self.tos,
+            flags=self.flags,
+            frag=self.frag,
+        )
+        clone.version = self.version
+        clone.ihl = self.ihl
+        clone.len_override = self.len_override
+        clone.chksum_override = self.chksum_override
+        return clone
+
+    def __repr__(self) -> str:
+        return f"IPv4({self.src} > {self.dst} ttl={self.ttl} proto={self.proto})"
+
+    # ------------------------------------------------------------------
+    # Geneva field registry
+
+    FIELDS = {
+        "version": FieldSpec(
+            "version", "int", 4, lambda ip: ip.version, lambda ip, v: setattr(ip, "version", v & 0xF)
+        ),
+        "ihl": FieldSpec(
+            "ihl", "int", 4, lambda ip: ip.ihl, lambda ip, v: setattr(ip, "ihl", v & 0xF)
+        ),
+        "tos": FieldSpec(
+            "tos", "int", 8, lambda ip: ip.tos, lambda ip, v: setattr(ip, "tos", v & 0xFF)
+        ),
+        "len": FieldSpec(
+            "len", "int", 16, lambda ip: ip.len_override or 0, lambda ip, v: setattr(ip, "len_override", v & 0xFFFF)
+        ),
+        "id": FieldSpec(
+            "id", "int", 16, lambda ip: ip.ident, lambda ip, v: setattr(ip, "ident", v & 0xFFFF)
+        ),
+        "flags": FieldSpec(
+            "flags", "int", 3, lambda ip: ip.flags, lambda ip, v: setattr(ip, "flags", v & 0x7)
+        ),
+        "frag": FieldSpec(
+            "frag", "int", 13, lambda ip: ip.frag, lambda ip, v: setattr(ip, "frag", v & 0x1FFF)
+        ),
+        "ttl": FieldSpec(
+            "ttl", "int", 8, lambda ip: ip.ttl, lambda ip, v: setattr(ip, "ttl", v & 0xFF)
+        ),
+        "proto": FieldSpec(
+            "proto", "int", 8, lambda ip: ip.proto, lambda ip, v: setattr(ip, "proto", v & 0xFF)
+        ),
+        "chksum": FieldSpec(
+            "chksum",
+            "int",
+            16,
+            lambda ip: ip.chksum_override or 0,
+            lambda ip, v: setattr(ip, "chksum_override", v & 0xFFFF),
+        ),
+        "src": FieldSpec("src", "ip", 32, lambda ip: ip.src, lambda ip, v: setattr(ip, "src", v)),
+        "dst": FieldSpec("dst", "ip", 32, lambda ip: ip.dst, lambda ip, v: setattr(ip, "dst", v)),
+    }
+
+
+def _ip_bytes(address: str) -> bytes:
+    return bytes(int(part) for part in address.split("."))
+
+
+def _bytes_ip(raw: bytes) -> str:
+    return ".".join(str(byte) for byte in raw)

@@ -1,0 +1,394 @@
+"""TCP header layer.
+
+A from-scratch TCP segment model: header fields, a typed options list
+(MSS, window scale, SACK-permitted, timestamps), payload bytes, byte-level
+serialization/parsing with checksum handling, and the Geneva field registry
+(including per-option pseudo-fields like ``options-wscale``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from .checksum import tcp_checksum
+from .fields import TCP_FLAG_LETTERS, FieldSpec
+
+__all__ = ["TCP", "flags_to_bits", "bits_to_flags"]
+
+# Flag bit positions, matching TCP_FLAG_LETTERS ("FSRPAUEC") order.
+_FLAG_BITS = {
+    "F": 0x01,
+    "S": 0x02,
+    "R": 0x04,
+    "P": 0x08,
+    "A": 0x10,
+    "U": 0x20,
+    "E": 0x40,
+    "C": 0x80,
+}
+
+OPT_EOL = 0
+OPT_NOP = 1
+OPT_MSS = 2
+OPT_WSCALE = 3
+OPT_SACKOK = 4
+OPT_TIMESTAMP = 8
+
+# Option name used in the options list -> TCP option kind byte.
+_OPTION_KINDS = {
+    "mss": OPT_MSS,
+    "wscale": OPT_WSCALE,
+    "sackok": OPT_SACKOK,
+    "timestamp": OPT_TIMESTAMP,
+    "nop": OPT_NOP,
+}
+
+
+def flags_to_bits(flags: str) -> int:
+    """Convert a flag string like ``"SA"`` to its 8-bit wire encoding."""
+    bits = 0
+    for letter in flags:
+        try:
+            bits |= _FLAG_BITS[letter]
+        except KeyError:
+            raise ValueError(f"unknown TCP flag {letter!r}") from None
+    return bits
+
+
+def bits_to_flags(bits: int) -> str:
+    """Convert the 8-bit wire encoding to a canonical flag string."""
+    return "".join(letter for letter in TCP_FLAG_LETTERS if bits & _FLAG_BITS[letter])
+
+
+class TCP:
+    """A mutable TCP segment (header + payload).
+
+    The checksum is computed at serialization time unless
+    :attr:`chksum_override` is set; ``tamper{TCP:chksum:corrupt}`` sets the
+    override so the corrupted value reaches the wire — the key mechanism
+    behind "insertion packets" that censors accept but end-hosts discard.
+    """
+
+    def __init__(
+        self,
+        sport: int = 0,
+        dport: int = 0,
+        seq: int = 0,
+        ack: int = 0,
+        flags: str = "S",
+        window: int = 65535,
+        urgptr: int = 0,
+        options: Optional[List[Tuple[str, object]]] = None,
+        load: bytes = b"",
+    ) -> None:
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq & 0xFFFFFFFF
+        self.ack = ack & 0xFFFFFFFF
+        self.flags = self._canonical_flags(flags)
+        self.window = window
+        self.urgptr = urgptr
+        self.options: List[Tuple[str, object]] = list(options or [])
+        self.load = load
+        self.chksum_override: Optional[int] = None
+        self.dataofs_override: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Flag helpers
+
+    @staticmethod
+    def _canonical_flags(flags: str) -> str:
+        return bits_to_flags(flags_to_bits(flags.upper()))
+
+    def has_flag(self, letter: str) -> bool:
+        """Whether the given flag letter is set."""
+        return letter in self.flags
+
+    @property
+    def is_syn(self) -> bool:
+        """SYN set and ACK clear (a connection-opening SYN)."""
+        return self.has_flag("S") and not self.has_flag("A")
+
+    @property
+    def is_synack(self) -> bool:
+        """Both SYN and ACK set."""
+        return self.has_flag("S") and self.has_flag("A")
+
+    @property
+    def is_rst(self) -> bool:
+        """RST flag set."""
+        return self.has_flag("R")
+
+    @property
+    def is_fin(self) -> bool:
+        """FIN flag set."""
+        return self.has_flag("F")
+
+    @property
+    def is_ack(self) -> bool:
+        """ACK flag set."""
+        return self.has_flag("A")
+
+    # ------------------------------------------------------------------
+    # Options helpers
+
+    def get_option(self, name: str):
+        """Return the value of the named option, or ``None`` if absent."""
+        for opt_name, value in self.options:
+            if opt_name == name:
+                return value
+        return None
+
+    def set_option(self, name: str, value) -> None:
+        """Set or replace the named option."""
+        for index, (opt_name, _) in enumerate(self.options):
+            if opt_name == name:
+                self.options[index] = (name, value)
+                return
+        self.options.append((name, value))
+
+    def remove_option(self, name: str) -> None:
+        """Remove the named option if present."""
+        self.options = [item for item in self.options if item[0] != name]
+
+    def _serialize_options(self) -> bytes:
+        chunks = []
+        for name, value in self.options:
+            if name == "mss":
+                chunks.append(struct.pack("!BBH", OPT_MSS, 4, int(value) & 0xFFFF))
+            elif name == "wscale":
+                chunks.append(struct.pack("!BBB", OPT_WSCALE, 3, int(value) & 0xFF))
+            elif name == "sackok":
+                chunks.append(struct.pack("!BB", OPT_SACKOK, 2))
+            elif name == "timestamp":
+                tsval, tsecr = value
+                chunks.append(struct.pack("!BBII", OPT_TIMESTAMP, 10, tsval, tsecr))
+            elif name == "nop":
+                chunks.append(bytes([OPT_NOP]))
+            elif name == "raw":
+                chunks.append(bytes(value))
+            else:
+                raise ValueError(f"unknown TCP option {name!r}")
+        raw = b"".join(chunks)
+        if len(raw) % 4:
+            raw += b"\x00" * (4 - len(raw) % 4)
+        return raw
+
+    @staticmethod
+    def _parse_options(raw: bytes) -> List[Tuple[str, object]]:
+        options: List[Tuple[str, object]] = []
+        index = 0
+        while index < len(raw):
+            kind = raw[index]
+            if kind == OPT_EOL:
+                break
+            if kind == OPT_NOP:
+                options.append(("nop", None))
+                index += 1
+                continue
+            if index + 1 >= len(raw):
+                break
+            length = raw[index + 1]
+            if length < 2 or index + length > len(raw):
+                break
+            body = raw[index + 2 : index + length]
+            if kind == OPT_MSS and length == 4:
+                options.append(("mss", struct.unpack("!H", body)[0]))
+            elif kind == OPT_WSCALE and length == 3:
+                options.append(("wscale", body[0]))
+            elif kind == OPT_SACKOK and length == 2:
+                options.append(("sackok", None))
+            elif kind == OPT_TIMESTAMP and length == 10:
+                options.append(("timestamp", struct.unpack("!II", body)))
+            else:
+                options.append(("raw", raw[index : index + length]))
+            index += length
+        return options
+
+    # ------------------------------------------------------------------
+    # Serialization
+
+    def header_length(self) -> int:
+        """Length of the serialized TCP header (with options) in bytes."""
+        return 20 + len(self._serialize_options())
+
+    def serialize(self, src_ip: str, dst_ip: str) -> bytes:
+        """Serialize header + payload, computing the checksum if needed."""
+        options = self._serialize_options()
+        dataofs = self.dataofs_override
+        if dataofs is None:
+            dataofs = (20 + len(options)) // 4
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.sport & 0xFFFF,
+            self.dport & 0xFFFF,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            (dataofs & 0xF) << 4,
+            flags_to_bits(self.flags),
+            self.window & 0xFFFF,
+            0,
+            self.urgptr & 0xFFFF,
+        )
+        segment = header + options + self.load
+        chksum = self.chksum_override
+        if chksum is None:
+            chksum = tcp_checksum(src_ip, dst_ip, segment)
+        return segment[:16] + struct.pack("!H", chksum & 0xFFFF) + segment[18:]
+
+    @classmethod
+    def parse(cls, data: bytes, src_ip: str = "0.0.0.0", dst_ip: str = "0.0.0.0") -> "TCP":
+        """Parse a TCP segment from raw bytes.
+
+        ``src_ip``/``dst_ip`` are used to verify the checksum; if the
+        on-wire checksum does not match, it is preserved in
+        :attr:`chksum_override` so the corruption survives a round trip.
+        """
+        if len(data) < 20:
+            raise ValueError("truncated TCP header")
+        (
+            sport,
+            dport,
+            seq,
+            ack,
+            offset_byte,
+            flag_bits,
+            window,
+            chksum,
+            urgptr,
+        ) = struct.unpack("!HHIIBBHHH", data[:20])
+        dataofs = offset_byte >> 4
+        header_len = dataofs * 4
+        if header_len < 20 or header_len > len(data):
+            header_len = 20
+        segment = cls(
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            ack=ack,
+            flags=bits_to_flags(flag_bits),
+            window=window,
+            urgptr=urgptr,
+            options=cls._parse_options(data[20:header_len]),
+            load=data[header_len:],
+        )
+        zeroed = data[:16] + b"\x00\x00" + data[18:]
+        if tcp_checksum(src_ip, dst_ip, zeroed) != chksum:
+            segment.chksum_override = chksum
+        return segment
+
+    def checksum_ok(self, src_ip: str, dst_ip: str) -> bool:
+        """Whether this segment's checksum is valid between the addresses."""
+        if self.chksum_override is None:
+            return True
+        zeroed = self.copy()
+        zeroed.chksum_override = None
+        raw = zeroed.serialize(src_ip, dst_ip)
+        expected = struct.unpack("!H", raw[16:18])[0]
+        return expected == self.chksum_override
+
+    # ------------------------------------------------------------------
+    # Misc
+
+    def copy(self) -> "TCP":
+        """Return an independent copy of this segment."""
+        clone = TCP(
+            sport=self.sport,
+            dport=self.dport,
+            seq=self.seq,
+            ack=self.ack,
+            flags=self.flags,
+            window=self.window,
+            urgptr=self.urgptr,
+            options=[(name, value) for name, value in self.options],
+            load=self.load,
+        )
+        clone.chksum_override = self.chksum_override
+        clone.dataofs_override = self.dataofs_override
+        return clone
+
+    def __repr__(self) -> str:
+        flags = self.flags or "<null>"
+        load = f" load={len(self.load)}B" if self.load else ""
+        return f"TCP({self.sport}>{self.dport} {flags} seq={self.seq} ack={self.ack}{load})"
+
+    # ------------------------------------------------------------------
+    # Geneva field registry
+
+    FIELDS = {
+        "sport": FieldSpec(
+            "sport", "int", 16, lambda t: t.sport, lambda t, v: setattr(t, "sport", v & 0xFFFF)
+        ),
+        "dport": FieldSpec(
+            "dport", "int", 16, lambda t: t.dport, lambda t, v: setattr(t, "dport", v & 0xFFFF)
+        ),
+        "seq": FieldSpec(
+            "seq", "int", 32, lambda t: t.seq, lambda t, v: setattr(t, "seq", v & 0xFFFFFFFF)
+        ),
+        "ack": FieldSpec(
+            "ack", "int", 32, lambda t: t.ack, lambda t, v: setattr(t, "ack", v & 0xFFFFFFFF)
+        ),
+        "dataofs": FieldSpec(
+            "dataofs",
+            "int",
+            4,
+            lambda t: t.dataofs_override or 0,
+            lambda t, v: setattr(t, "dataofs_override", v & 0xF),
+        ),
+        "flags": FieldSpec(
+            "flags",
+            "flags",
+            8,
+            lambda t: t.flags,
+            lambda t, v: setattr(t, "flags", TCP._canonical_flags(v)),
+        ),
+        "window": FieldSpec(
+            "window", "int", 16, lambda t: t.window, lambda t, v: setattr(t, "window", v & 0xFFFF)
+        ),
+        "chksum": FieldSpec(
+            "chksum",
+            "int",
+            16,
+            lambda t: t.chksum_override or 0,
+            lambda t, v: setattr(t, "chksum_override", v & 0xFFFF),
+        ),
+        "urgptr": FieldSpec(
+            "urgptr", "int", 16, lambda t: t.urgptr, lambda t, v: setattr(t, "urgptr", v & 0xFFFF)
+        ),
+        "load": FieldSpec(
+            "load",
+            "bytes",
+            0,
+            lambda t: t.load,
+            lambda t, v: setattr(t, "load", bytes(v)),
+        ),
+        "options-wscale": FieldSpec(
+            "options-wscale",
+            "options",
+            0,
+            lambda t: t.get_option("wscale"),
+            lambda t, v: t.remove_option("wscale") if v == [] else t.set_option("wscale", v),
+        ),
+        "options-mss": FieldSpec(
+            "options-mss",
+            "options",
+            0,
+            lambda t: t.get_option("mss"),
+            lambda t, v: t.remove_option("mss") if v == [] else t.set_option("mss", v),
+        ),
+        "options-sackok": FieldSpec(
+            "options-sackok",
+            "options",
+            0,
+            lambda t: t.get_option("sackok"),
+            lambda t, v: t.remove_option("sackok") if v == [] else t.set_option("sackok", v),
+        ),
+        "options-timestamp": FieldSpec(
+            "options-timestamp",
+            "options",
+            0,
+            lambda t: t.get_option("timestamp"),
+            lambda t, v: t.remove_option("timestamp") if v == [] else t.set_option("timestamp", v),
+        ),
+    }

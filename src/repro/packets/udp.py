@@ -1,0 +1,120 @@
+"""UDP datagram layer.
+
+Used by the DNS-over-UDP substrate: the GFW's classic DNS censorship
+injects forged responses to UDP queries (the "lemon" responses of the
+paper's §2.1), which is why censored-network clients fall back to
+DNS-over-TCP — the paper's DNS workload.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .checksum import internet_checksum, pseudo_header
+from .fields import FieldSpec
+
+__all__ = ["UDP", "IP_PROTO_UDP"]
+
+IP_PROTO_UDP = 17
+
+
+class UDP:
+    """A mutable UDP datagram (header + payload).
+
+    Like :class:`~repro.packets.tcp.TCP`, the checksum is computed at
+    serialization time unless :attr:`chksum_override` is planted by a
+    tamper action.
+    """
+
+    def __init__(self, sport: int = 0, dport: int = 0, load: bytes = b"") -> None:
+        self.sport = sport
+        self.dport = dport
+        self.load = load
+        self.chksum_override: Optional[int] = None
+        self.len_override: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def header_length(self) -> int:
+        """Length of the serialized UDP header in bytes."""
+        return 8
+
+    def serialize(self, src_ip: str, dst_ip: str) -> bytes:
+        """Serialize header + payload, computing the checksum if needed."""
+        length = self.len_override
+        if length is None:
+            length = 8 + len(self.load)
+        header = struct.pack(
+            "!HHHH", self.sport & 0xFFFF, self.dport & 0xFFFF, length & 0xFFFF, 0
+        )
+        datagram = header + self.load
+        chksum = self.chksum_override
+        if chksum is None:
+            pseudo = pseudo_header(src_ip, dst_ip, IP_PROTO_UDP, len(datagram))
+            chksum = internet_checksum(pseudo + datagram)
+            if chksum == 0:
+                chksum = 0xFFFF  # RFC 768: zero means "no checksum"
+        return datagram[:6] + struct.pack("!H", chksum & 0xFFFF) + datagram[8:]
+
+    @classmethod
+    def parse(cls, data: bytes, src_ip: str = "0.0.0.0", dst_ip: str = "0.0.0.0") -> "UDP":
+        """Parse a UDP datagram, preserving corrupted checksums."""
+        if len(data) < 8:
+            raise ValueError("truncated UDP header")
+        sport, dport, length, chksum = struct.unpack("!HHHH", data[:8])
+        datagram = cls(sport=sport, dport=dport, load=data[8:length] if length >= 8 else data[8:])
+        zeroed = data[:6] + b"\x00\x00" + data[8 : max(length, 8)]
+        pseudo = pseudo_header(src_ip, dst_ip, IP_PROTO_UDP, len(zeroed))
+        expected = internet_checksum(pseudo + zeroed)
+        if expected == 0:
+            expected = 0xFFFF
+        if chksum not in (0, expected):
+            datagram.chksum_override = chksum
+        return datagram
+
+    def checksum_ok(self, src_ip: str, dst_ip: str) -> bool:
+        """Whether the datagram's checksum is valid between the addresses."""
+        return self.chksum_override is None
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "UDP":
+        """Return an independent copy of this datagram."""
+        clone = UDP(sport=self.sport, dport=self.dport, load=self.load)
+        clone.chksum_override = self.chksum_override
+        clone.len_override = self.len_override
+        return clone
+
+    def __repr__(self) -> str:
+        load = f" load={len(self.load)}B" if self.load else ""
+        return f"UDP({self.sport}>{self.dport}{load})"
+
+    # ------------------------------------------------------------------
+    # Geneva field registry
+
+    FIELDS = {
+        "sport": FieldSpec(
+            "sport", "int", 16, lambda u: u.sport, lambda u, v: setattr(u, "sport", v & 0xFFFF)
+        ),
+        "dport": FieldSpec(
+            "dport", "int", 16, lambda u: u.dport, lambda u, v: setattr(u, "dport", v & 0xFFFF)
+        ),
+        "len": FieldSpec(
+            "len",
+            "int",
+            16,
+            lambda u: u.len_override or 0,
+            lambda u, v: setattr(u, "len_override", v & 0xFFFF),
+        ),
+        "chksum": FieldSpec(
+            "chksum",
+            "int",
+            16,
+            lambda u: u.chksum_override or 0,
+            lambda u, v: setattr(u, "chksum_override", v & 0xFFFF),
+        ),
+        "load": FieldSpec(
+            "load", "bytes", 0, lambda u: u.load, lambda u, v: setattr(u, "load", bytes(v))
+        ),
+    }

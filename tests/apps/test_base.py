@@ -1,0 +1,110 @@
+"""Unit tests for the shared application plumbing."""
+
+import pytest
+
+from repro.apps.base import (
+    DEFAULT_APP_TIMEOUT,
+    OUTCOME_RESET,
+    OUTCOME_SUCCESS,
+    OUTCOME_TIMEOUT,
+    BaseClient,
+)
+
+
+class EchoClient(BaseClient):
+    """Minimal concrete client: sends 'ping', succeeds on 'pong'."""
+
+    def _on_established(self):
+        self._send(b"ping")
+
+    def _on_bytes(self):
+        if bytes(self.buffer) == b"pong":
+            self._finish(OUTCOME_SUCCESS)
+
+
+def serve_pong(pair, port=80):
+    def on_accept(endpoint):
+        endpoint.on_data = lambda data: (endpoint.send(b"pong"), endpoint.close())
+
+    pair.server.listen(port, on_accept)
+
+
+class TestLifecycle:
+    def test_successful_exchange(self, linked_hosts):
+        pair = linked_hosts()
+        serve_pong(pair)
+        client = EchoClient(pair.client, "10.0.0.2", 80)
+        client.start()
+        pair.run()
+        assert client.succeeded
+        assert client.finished
+
+    def test_on_complete_callback_fires_once(self, linked_hosts):
+        pair = linked_hosts()
+        serve_pong(pair)
+        client = EchoClient(pair.client, "10.0.0.2", 80)
+        calls = []
+        client.on_complete = calls.append
+        client.start()
+        pair.run()
+        client._finish("timeout")  # late finish attempts are ignored
+        assert calls == [OUTCOME_SUCCESS]
+        assert client.outcome == OUTCOME_SUCCESS
+
+    def test_timeout_path(self, linked_hosts):
+        pair = linked_hosts()  # no server listening
+        client = EchoClient(pair.client, "10.0.0.2", 80, timeout=1.5)
+        client.start()
+        pair.run(until=10)
+        assert client.outcome == OUTCOME_TIMEOUT
+
+    def test_timeout_timer_cancelled_on_success(self, linked_hosts):
+        pair = linked_hosts()
+        serve_pong(pair)
+        client = EchoClient(pair.client, "10.0.0.2", 80, timeout=2.0)
+        client.start()
+        pair.run(until=30)  # well past the timeout
+        assert client.outcome == OUTCOME_SUCCESS
+
+    def test_reset_reported(self, linked_hosts):
+        from repro.netsim import Middlebox
+        from repro.packets import make_tcp_packet
+
+        class Resetter(Middlebox):
+            def process(self, packet, direction, ctx):
+                if direction == "c2s" and packet.load:
+                    rst = make_tcp_packet(
+                        packet.dst, packet.src, packet.dport, packet.sport,
+                        flags="RA", seq=packet.tcp.ack,
+                        ack=(packet.tcp.seq + len(packet.load)) % (1 << 32),
+                    )
+                    ctx.inject(rst, toward="client")
+                    return []
+                return [packet]
+
+        pair = linked_hosts(middleboxes=[Resetter()])
+        serve_pong(pair)
+        client = EchoClient(pair.client, "10.0.0.2", 80)
+        client.start()
+        pair.run()
+        assert client.outcome == OUTCOME_RESET
+
+    def test_default_timeout_constant(self):
+        assert DEFAULT_APP_TIMEOUT == 8.0
+
+    def test_buffer_accumulates(self, linked_hosts):
+        pair = linked_hosts()
+
+        def on_accept(endpoint):
+            def on_data(data):
+                endpoint.send(b"po")
+                endpoint.send(b"ng")
+                endpoint.close()
+
+            endpoint.on_data = on_data
+
+        pair.server.listen(80, on_accept)
+        client = EchoClient(pair.client, "10.0.0.2", 80)
+        client.start()
+        pair.run()
+        assert client.succeeded

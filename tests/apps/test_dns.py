@@ -1,0 +1,133 @@
+"""Tests for DNS wire format and the RFC 7766 retrying client."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import DNSClient, DNSServer, OUTCOME_SUCCESS
+from repro.apps.dns import (
+    DNSAttempt,
+    build_query,
+    build_response,
+    decode_name,
+    encode_name,
+    parse_query_name,
+    parse_response,
+)
+
+
+class TestWireFormat:
+    def test_encode_name_labels(self):
+        assert encode_name("www.example.com") == b"\x03www\x07example\x03com\x00"
+
+    def test_decode_name_round_trip(self):
+        raw = encode_name("a.b.c")
+        name, offset = decode_name(raw, 0)
+        assert name == "a.b.c"
+        assert offset == len(raw)
+
+    def test_label_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            encode_name("x" * 64 + ".com")
+
+    def test_query_structure(self):
+        query = build_query("example.com", 0xABCD)
+        length = struct.unpack("!H", query[:2])[0]
+        assert length == len(query) - 2
+        assert struct.unpack("!H", query[2:4])[0] == 0xABCD
+
+    def test_parse_query_name(self):
+        assert parse_query_name(build_query("www.wikipedia.org", 1)) == "www.wikipedia.org"
+
+    def test_parse_query_name_truncated_is_none(self):
+        """Segmented queries defeat non-reassembling DPI."""
+        query = build_query("www.wikipedia.org", 1)
+        for cut in (1, 5, 12, len(query) - 2):
+            assert parse_query_name(query[:cut]) is None
+
+    def test_parse_query_name_garbage_is_none(self):
+        assert parse_query_name(b"\x00\x04abcd") is None
+
+    def test_response_answers_query(self):
+        response = build_response("example.com", 7)
+        assert parse_response(response, 7, "example.com")
+        assert not parse_response(response, 8, "example.com")
+        assert not parse_response(response, 7, "other.com")
+
+    @given(st.from_regex(r"[a-z]{1,12}(\.[a-z]{1,12}){0,3}", fullmatch=True),
+           st.integers(0, 0xFFFF))
+    def test_query_round_trip_property(self, name, txid):
+        assert parse_query_name(build_query(name, txid)) == name
+
+
+class TestRetries:
+    def test_success_first_try(self, linked_hosts):
+        pair = linked_hosts()
+        DNSServer(pair.server, 53).install()
+        client = DNSClient(pair.client, "10.0.0.2", 53, qname="example.com")
+        client.start()
+        pair.run()
+        assert client.succeeded
+        assert len(client.attempts) == 1
+
+    def test_retries_after_reset(self, linked_hosts):
+        """A censor-style RST on the first two connections: the third try
+        succeeds, per RFC 7766."""
+        from repro.netsim import Middlebox
+        from repro.packets import make_tcp_packet
+
+        class ResetFirstTwo(Middlebox):
+            name = "resetter"
+
+            def __init__(self):
+                self.flows = {}
+
+            def process(self, packet, direction, ctx):
+                if direction != "c2s" or not packet.load:
+                    return [packet]
+                key = packet.flow
+                index = self.flows.setdefault(key, len(self.flows))
+                if index < 2:
+                    rst = make_tcp_packet(
+                        packet.dst, packet.src, packet.dport, packet.sport,
+                        flags="RA",
+                        seq=packet.tcp.ack,
+                        ack=(packet.tcp.seq + len(packet.load)) % (1 << 32),
+                    )
+                    ctx.inject(rst, toward="client")
+                    return []
+                return [packet]
+
+        pair = linked_hosts(middleboxes=[ResetFirstTwo()])
+        DNSServer(pair.server, 53).install()
+        client = DNSClient(pair.client, "10.0.0.2", 53, qname="example.com", tries=3)
+        client.start()
+        pair.run(until=60)
+        assert client.succeeded
+        assert len(client.attempts) == 3
+
+    def test_gives_up_after_max_tries(self, linked_hosts):
+        from repro.netsim import Middlebox
+
+        class DropData(Middlebox):
+            def process(self, packet, direction, ctx):
+                if direction == "c2s" and packet.load:
+                    return []
+                return [packet]
+
+        pair = linked_hosts(middleboxes=[DropData()])
+        DNSServer(pair.server, 53).install()
+        client = DNSClient(pair.client, "10.0.0.2", 53, tries=2, timeout=3.0)
+        client.start()
+        pair.run(until=120)
+        assert not client.succeeded
+        assert client.finished
+        assert len(client.attempts) == 2
+
+    def test_fresh_transaction_id_per_attempt(self, linked_hosts):
+        pair = linked_hosts()
+        client = DNSClient(pair.client, "10.0.0.2", 53, tries=3)
+        ids = {client.rng.randrange(1, 0x10000) for _ in range(20)}
+        assert len(ids) > 1  # sanity: rng produces varied txids

@@ -1,0 +1,142 @@
+"""Tests for UDP transport and DNS-over-UDP with GFW lemon injection."""
+
+import random
+
+import pytest
+
+from repro.apps.dns import parse_answer_address, build_response
+from repro.apps.dns_udp import (
+    OUTCOME_POISONED,
+    TRUE_ADDRESS,
+    DNSOverUDPClient,
+    DNSOverUDPServer,
+)
+from repro.censors import GreatFirewall
+from repro.censors.gfw.dnsudp import LEMON_ADDRESS
+from repro.packets import Packet, make_udp_packet
+
+
+class TestUDPLayer:
+    def test_wire_round_trip(self):
+        packet = make_udp_packet("10.0.0.1", "10.0.0.2", 5353, 53, load=b"query-bytes")
+        parsed = Packet.parse(packet.serialize())
+        assert parsed.is_udp
+        assert parsed.sport == 5353 and parsed.dport == 53
+        assert parsed.load == b"query-bytes"
+        assert parsed.checksums_ok()
+
+    def test_corrupted_checksum_survives_round_trip(self):
+        packet = make_udp_packet("10.0.0.1", "10.0.0.2", 5353, 53, load=b"x")
+        packet.udp.chksum_override = 0x1234
+        parsed = Packet.parse(packet.serialize())
+        assert not parsed.checksums_ok()
+
+    def test_udp_field_tamper(self, rng):
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 53, load=b"q")
+        packet.replace_field("UDP", "dport", "5353")
+        assert packet.dport == 5353
+        packet.corrupt_field("UDP", "load", rng)
+        assert packet.load != b"q"
+
+    def test_tcp_fields_unavailable_on_udp(self):
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 53)
+        with pytest.raises(ValueError):
+            packet.get_field("TCP", "flags")
+        assert packet.flags == ""
+
+    def test_packet_requires_exactly_one_transport(self):
+        from repro.packets import IPv4, TCP, UDP
+
+        with pytest.raises(ValueError):
+            Packet(IPv4())
+        with pytest.raises(ValueError):
+            Packet(IPv4(), TCP(), UDP())
+
+
+class TestAnswerParsing:
+    def test_true_answer(self):
+        response = build_response("example.com", 7, address="93.184.216.34")
+        assert parse_answer_address(response) == "93.184.216.34"
+
+    def test_garbage_is_none(self):
+        assert parse_answer_address(b"\x00\x03abc") is None
+        assert parse_answer_address(b"") is None
+
+
+def run_udp_lookup(linked_hosts, qname, middleboxes=(), seed=5):
+    pair = linked_hosts(middleboxes=list(middleboxes), seed=seed)
+    server = DNSOverUDPServer(pair.server, 53)
+    server.install()
+    client = DNSOverUDPClient(pair.client, "10.0.0.2", 53, qname=qname)
+    client.start()
+    pair.run(until=10)
+    return client, server
+
+
+class TestLookups:
+    def test_benign_lookup_succeeds(self, linked_hosts):
+        client, server = run_udp_lookup(linked_hosts, "benign.example.com")
+        assert client.succeeded
+        assert client.answer == TRUE_ADDRESS
+        assert server.queries_answered == 1
+
+    def test_forbidden_name_without_censor_succeeds(self, linked_hosts):
+        client, _ = run_udp_lookup(linked_hosts, "www.wikipedia.org")
+        assert client.succeeded
+
+    def test_timeout_without_server(self, linked_hosts):
+        pair = linked_hosts()
+        client = DNSOverUDPClient(pair.client, "10.0.0.2", 53, timeout=1.0)
+        client.start()
+        pair.run(until=5)
+        assert client.outcome == "timeout"
+
+
+class TestLemonInjection:
+    def test_forbidden_query_poisoned(self, linked_hosts):
+        gfw = GreatFirewall(rng=random.Random(1))
+        client, server = run_udp_lookup(
+            linked_hosts, "www.wikipedia.org", middleboxes=[gfw]
+        )
+        assert client.outcome == OUTCOME_POISONED
+        assert client.answer == LEMON_ADDRESS
+        assert gfw.dns_udp.injections == 1
+        # The genuine server still answered — the forgery just won the race.
+        assert server.queries_answered == 1
+
+    def test_benign_query_untouched(self, linked_hosts):
+        gfw = GreatFirewall(rng=random.Random(1))
+        client, _ = run_udp_lookup(
+            linked_hosts, "benign.example.com", middleboxes=[gfw]
+        )
+        assert client.succeeded
+        assert gfw.dns_udp.injections == 0
+
+    def test_forged_response_matches_txid(self, linked_hosts):
+        """The injected answer carries the query's transaction id (on-path
+        censors see the query, so no guessing is needed)."""
+        gfw = GreatFirewall(rng=random.Random(1))
+        client, _ = run_udp_lookup(
+            linked_hosts, "www.wikipedia.org", middleboxes=[gfw]
+        )
+        assert client.outcome == OUTCOME_POISONED  # accepted => txid matched
+
+    def test_tcp_fallback_evades_with_server_strategy(self, linked_hosts):
+        """The motivating pipeline: UDP poisoned -> DNS-over-TCP censored
+        by RST -> server-side strategy makes DNS-over-TCP work."""
+        from repro.core import deployed_strategy
+        from repro.eval import run_trial
+
+        udp_gfw = GreatFirewall(rng=random.Random(1))
+        poisoned, _ = run_udp_lookup(
+            linked_hosts, "www.wikipedia.org", middleboxes=[udp_gfw]
+        )
+        assert poisoned.outcome == OUTCOME_POISONED
+
+        tcp_plain = run_trial("china", "dns", None, seed=42, dns_tries=1)
+        assert not tcp_plain.succeeded
+
+        tcp_evading = run_trial(
+            "china", "dns", deployed_strategy(1), seed=45, dns_tries=3
+        )
+        assert tcp_evading.succeeded

@@ -1,0 +1,67 @@
+"""Tests for encrypted SNI (§9's deployed-evasion precedent)."""
+
+import random
+
+from repro.apps import HTTPSClient, HTTPSServer
+from repro.apps.tls import build_client_hello, parse_esni, parse_sni
+from repro.censors import CHINA_KEYWORDS, match_https
+from repro.eval.runner import Trial
+
+
+class TestESNIWireFormat:
+    def test_censor_cannot_read_esni(self):
+        hello = build_client_hello("www.wikipedia.org", encrypted_sni=True)
+        assert parse_sni(hello) is None
+
+    def test_server_can_decrypt(self):
+        hello = build_client_hello(
+            "www.wikipedia.org", random.Random(4), encrypted_sni=True
+        )
+        assert parse_esni(hello) == "www.wikipedia.org"
+
+    def test_plaintext_hello_has_no_esni(self):
+        hello = build_client_hello("example.com")
+        assert parse_esni(hello) is None
+        assert parse_sni(hello) == "example.com"
+
+    def test_name_not_in_clear_bytes(self):
+        hello = build_client_hello("www.wikipedia.org", encrypted_sni=True)
+        assert b"wikipedia" not in hello
+
+    def test_dpi_verdict_is_unrecognized(self):
+        hello = build_client_hello("www.wikipedia.org", encrypted_sni=True)
+        assert match_https(hello, CHINA_KEYWORDS) is None
+
+
+class TestESNITrials:
+    def run_https(self, country, encrypted_sni, seed=1):
+        trial = Trial(country, "https", None, seed=seed,
+                      workload={"server_name": "banned.example", "encrypted_sni": encrypted_sni})
+        # Use each censor's actual censored SNI.
+        name = "www.wikipedia.org" if country == "china" else "youtube.com"
+        trial.client_app.server_name = name
+        return trial.run()
+
+    def test_esni_evades_china_https(self):
+        result = self.run_https("china", encrypted_sni=True)
+        assert result.succeeded
+        assert not result.censored
+
+    def test_plaintext_sni_censored_in_china(self):
+        result = self.run_https("china", encrypted_sni=False)
+        assert not result.succeeded
+
+    def test_esni_evades_iran(self):
+        result = self.run_https("iran", encrypted_sni=True)
+        assert result.succeeded
+
+    def test_esni_exchange_completes_without_censor(self, linked_hosts):
+        pair = linked_hosts()
+        HTTPSServer(pair.server, 443).install()
+        client = HTTPSClient(
+            pair.client, "10.0.0.2", 443,
+            server_name="secret.example.org", encrypted_sni=True,
+        )
+        client.start()
+        pair.run()
+        assert client.succeeded

@@ -1,0 +1,66 @@
+"""Tests for the FTP control-channel client/server pair."""
+
+from repro.apps import FTPClient, FTPServer, OUTCOME_SUCCESS, expected_ftp_banner
+
+
+def run_ftp(pair, filename="ultrasurf.txt", port=21):
+    FTPServer(pair.server, port).install()
+    client = FTPClient(pair.client, "10.0.0.2", port, filename=filename)
+    client.start()
+    pair.run()
+    return client
+
+
+class TestExchange:
+    def test_sign_in_and_retr(self, linked_hosts):
+        client = run_ftp(linked_hosts())
+        assert client.outcome == OUTCOME_SUCCESS
+
+    def test_dialogue_order(self, linked_hosts):
+        pair = linked_hosts()
+        FTPServer(pair.server, 21).install()
+        client = FTPClient(pair.client, "10.0.0.2", 21, filename="notes.txt")
+        client.start()
+        trace = pair.run()
+        client_payloads = [
+            bytes(e.packet.load)
+            for e in trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.load
+        ]
+        assert client_payloads == [
+            b"USER anonymous\r\n",
+            b"PASS guest\r\n",
+            b"RETR notes.txt\r\n",
+        ]
+
+    def test_banner_matches_filename(self, linked_hosts):
+        client = run_ftp(linked_hosts(), filename="a.txt")
+        assert client.outcome == OUTCOME_SUCCESS
+        assert expected_ftp_banner("a.txt") in bytes(client.buffer).decode()
+
+    def test_request_bytes_is_retr_line(self, linked_hosts):
+        pair = linked_hosts()
+        client = FTPClient(pair.client, "10.0.0.2", 21, filename="x.bin")
+        assert client.request_bytes() == b"RETR x.bin\r\n"
+
+    def test_server_rejects_retr_before_login(self, linked_hosts):
+        pair = linked_hosts()
+        FTPServer(pair.server, 21).install()
+        responses = []
+        ep = pair.client.open_connection("10.0.0.2", 21)
+        ep.on_data = lambda data: responses.append(bytes(data))
+        ep.on_established = lambda: ep.send(b"RETR secret.txt\r\n")
+        ep.connect()
+        pair.run()
+        assert any(r.startswith(b"530") for r in responses)
+
+    def test_unknown_command_gets_502(self, linked_hosts):
+        pair = linked_hosts()
+        FTPServer(pair.server, 21).install()
+        responses = []
+        ep = pair.client.open_connection("10.0.0.2", 21)
+        ep.on_data = lambda data: responses.append(bytes(data))
+        ep.on_established = lambda: ep.send(b"FROB x\r\n")
+        ep.connect()
+        pair.run()
+        assert any(r.startswith(b"502") for r in responses)

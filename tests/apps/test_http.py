@@ -1,0 +1,79 @@
+"""Tests for the HTTP client/server pair."""
+
+from repro.apps import (
+    BLOCK_PAGE_MARKER,
+    HTTPClient,
+    HTTPServer,
+    OUTCOME_BLOCKPAGE,
+    OUTCOME_SUCCESS,
+    expected_http_body,
+)
+
+
+def run_http(pair, path="/", host_header="example.com", port=80):
+    HTTPServer(pair.server, port).install()
+    client = HTTPClient(pair.client, "10.0.0.2", port, path=path, host_header=host_header)
+    client.start()
+    pair.run()
+    return client
+
+
+class TestExchange:
+    def test_basic_get_succeeds(self, linked_hosts):
+        client = run_http(linked_hosts())
+        assert client.outcome == OUTCOME_SUCCESS
+
+    def test_body_is_request_specific(self):
+        assert expected_http_body("/a", "h") != expected_http_body("/b", "h")
+        assert expected_http_body("/a", "h1") != expected_http_body("/a", "h2")
+
+    def test_request_bytes_contain_host_and_path(self, linked_hosts):
+        pair = linked_hosts()
+        client = HTTPClient(pair.client, "10.0.0.2", 80, path="/?q=x", host_header="h.example")
+        raw = client.request_bytes()
+        assert raw.startswith(b"GET /?q=x HTTP/1.1\r\n")
+        assert b"Host: h.example\r\n" in raw
+
+    def test_nonstandard_port(self, linked_hosts):
+        client = run_http(linked_hosts(), port=8080)
+        assert client.outcome == OUTCOME_SUCCESS
+
+    def test_censored_path_still_succeeds_without_censor(self, linked_hosts):
+        client = run_http(linked_hosts(), path="/?q=ultrasurf")
+        assert client.outcome == OUTCOME_SUCCESS
+
+
+class TestValidation:
+    def test_block_page_detected(self, linked_hosts):
+        pair = linked_hosts()
+        client = HTTPClient(pair.client, "10.0.0.2", 80)
+        page = f"<html>{BLOCK_PAGE_MARKER}</html>".encode()
+        client.buffer.extend(
+            b"HTTP/1.1 200 OK\r\nContent-Length: "
+            + str(len(page)).encode()
+            + b"\r\n\r\n"
+            + page
+        )
+        client._on_bytes()
+        assert client.outcome == OUTCOME_BLOCKPAGE
+
+    def test_wrong_body_is_garbled(self, linked_hosts):
+        pair = linked_hosts()
+        client = HTTPClient(pair.client, "10.0.0.2", 80)
+        client.buffer.extend(b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nXXX")
+        client._on_bytes()
+        assert client.outcome == "garbled"
+
+    def test_incomplete_response_waits(self, linked_hosts):
+        pair = linked_hosts()
+        client = HTTPClient(pair.client, "10.0.0.2", 80)
+        client.buffer.extend(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nhal")
+        client._on_bytes()
+        assert client.outcome is None
+
+    def test_timeout_without_server(self, linked_hosts):
+        pair = linked_hosts()
+        client = HTTPClient(pair.client, "10.0.0.2", 80, timeout=2.0)
+        client.start()
+        pair.run()
+        assert client.outcome == "timeout"

@@ -1,0 +1,48 @@
+"""Tests for the HTTPS client/server pair."""
+
+from repro.apps import HTTPSClient, HTTPSServer, OUTCOME_SUCCESS
+
+
+def run_https(pair, server_name="example.com", port=443):
+    HTTPSServer(pair.server, port).install()
+    client = HTTPSClient(pair.client, "10.0.0.2", port, server_name=server_name)
+    client.start()
+    pair.run()
+    return client
+
+
+class TestExchange:
+    def test_tls_exchange_succeeds(self, linked_hosts):
+        client = run_https(linked_hosts())
+        assert client.outcome == OUTCOME_SUCCESS
+
+    def test_forbidden_sni_without_censor_succeeds(self, linked_hosts):
+        client = run_https(linked_hosts(), server_name="www.wikipedia.org")
+        assert client.outcome == OUTCOME_SUCCESS
+
+    def test_request_bytes_is_client_hello(self, linked_hosts):
+        pair = linked_hosts()
+        client = HTTPSClient(pair.client, "10.0.0.2", 443, server_name="a.example")
+        from repro.apps import parse_sni
+
+        assert parse_sni(client.request_bytes()) == "a.example"
+
+    def test_wrong_payload_garbled(self, linked_hosts):
+        pair = linked_hosts()
+        client = HTTPSClient(pair.client, "10.0.0.2", 443, server_name="a.example")
+        from repro.apps.tls import build_application_data, build_server_hello
+
+        client.buffer.extend(build_server_hello("a.example"))
+        client.buffer.extend(build_application_data(b"not the expected bytes"))
+        client._on_bytes()
+        assert client.outcome == "garbled"
+
+    def test_partial_records_wait(self, linked_hosts):
+        pair = linked_hosts()
+        client = HTTPSClient(pair.client, "10.0.0.2", 443)
+        from repro.apps.tls import build_server_hello
+
+        hello = build_server_hello("example.com")
+        client.buffer.extend(hello[: len(hello) // 2])
+        client._on_bytes()
+        assert client.outcome is None

@@ -1,0 +1,58 @@
+"""Tests for the SMTP client/server pair."""
+
+from repro.apps import (
+    FORBIDDEN_ADDRESS,
+    OUTCOME_SUCCESS,
+    SMTPClient,
+    SMTPServer,
+    expected_smtp_receipt,
+)
+
+
+def run_smtp(pair, recipient=FORBIDDEN_ADDRESS, port=25):
+    SMTPServer(pair.server, port).install()
+    client = SMTPClient(pair.client, "10.0.0.2", port, recipient=recipient)
+    client.start()
+    pair.run()
+    return client
+
+
+class TestExchange:
+    def test_full_delivery(self, linked_hosts):
+        client = run_smtp(linked_hosts())
+        assert client.outcome == OUTCOME_SUCCESS
+
+    def test_dialogue_order(self, linked_hosts):
+        pair = linked_hosts()
+        SMTPServer(pair.server, 25).install()
+        client = SMTPClient(pair.client, "10.0.0.2", 25, recipient="a@b.c")
+        client.start()
+        trace = pair.run()
+        payloads = [
+            bytes(e.packet.load)
+            for e in trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.load
+        ]
+        assert payloads[0] == b"HELO client.example\r\n"
+        assert payloads[1].startswith(b"MAIL FROM:")
+        assert payloads[2] == b"RCPT TO:<a@b.c>\r\n"
+        assert payloads[3] == b"DATA\r\n"
+        assert payloads[4].endswith(b"\r\n.\r\n")
+
+    def test_receipt_bound_to_recipient(self):
+        assert expected_smtp_receipt("a@b.c") != expected_smtp_receipt("x@y.z")
+
+    def test_request_bytes_is_rcpt_line(self, linked_hosts):
+        pair = linked_hosts()
+        client = SMTPClient(pair.client, "10.0.0.2", 25, recipient="who@where.org")
+        assert client.request_bytes() == b"RCPT TO:<who@where.org>\r\n"
+
+    def test_forbidden_recipient_constant(self):
+        assert FORBIDDEN_ADDRESS == "xiazai@upup.info"
+
+    def test_unexpected_reply_garbles(self, linked_hosts):
+        pair = linked_hosts()
+        client = SMTPClient(pair.client, "10.0.0.2", 25)
+        client.buffer.extend(b"554 go away\r\n")
+        client._on_bytes()
+        assert client.outcome == "garbled"

@@ -1,0 +1,70 @@
+"""Tests for the TLS record layer and SNI parsing."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.tls import (
+    RECORD_APPDATA,
+    RECORD_HANDSHAKE,
+    build_application_data,
+    build_client_hello,
+    build_server_hello,
+    expected_tls_payload,
+    parse_sni,
+)
+
+
+class TestClientHello:
+    def test_record_type_and_version(self):
+        hello = build_client_hello("example.com")
+        assert hello[0] == RECORD_HANDSHAKE
+        assert hello[1:3] == b"\x03\x03"
+
+    def test_record_length_consistent(self):
+        hello = build_client_hello("example.com")
+        assert int.from_bytes(hello[3:5], "big") == len(hello) - 5
+
+    def test_sni_round_trip(self):
+        for name in ("example.com", "www.wikipedia.org", "youtube.com"):
+            assert parse_sni(build_client_hello(name)) == name
+
+    def test_deterministic_with_seeded_rng(self):
+        a = build_client_hello("x.org", random.Random(5))
+        b = build_client_hello("x.org", random.Random(5))
+        assert a == b
+
+    @given(st.from_regex(r"[a-z]{1,10}(\.[a-z]{2,8}){1,2}", fullmatch=True))
+    def test_sni_round_trip_property(self, name):
+        assert parse_sni(build_client_hello(name)) == name
+
+
+class TestSNIParsing:
+    def test_non_tls_returns_none(self):
+        assert parse_sni(b"GET / HTTP/1.1\r\n\r\n") is None
+        assert parse_sni(b"") is None
+
+    def test_truncated_hello_returns_none(self):
+        """A ClientHello split across segments yields no SNI — why induced
+        segmentation defeats SNI-based censorship."""
+        hello = build_client_hello("www.wikipedia.org")
+        for cut in (4, 10, len(hello) // 2, len(hello) - 1):
+            assert parse_sni(hello[:cut]) is None
+
+    def test_server_hello_is_not_a_client_hello(self):
+        assert parse_sni(build_server_hello("example.com")) is None
+
+    def test_garbage_with_tls_byte_returns_none(self):
+        assert parse_sni(b"\x16" + b"\x00" * 40) is None
+
+
+class TestRecords:
+    def test_application_data_wrapping(self):
+        record = build_application_data(b"payload")
+        assert record[0] == RECORD_APPDATA
+        assert record[5:] == b"payload"
+
+    def test_expected_payload_deterministic_per_name(self):
+        assert expected_tls_payload("a.com") == expected_tls_payload("a.com")
+        assert expected_tls_payload("a.com") != expected_tls_payload("b.com")

@@ -1,0 +1,55 @@
+"""Tests for the cellular carrier middlebox models (§7)."""
+
+from repro.censors.carrier import att_box, tmobile_box, wifi_box
+from repro.core import deployed_strategy
+from repro.eval import run_trial
+
+
+def compat(strategy_number, box):
+    boxes = [box] if box is not None else []
+    return run_trial(
+        None, "http", deployed_strategy(strategy_number), seed=2,
+        client_side_boxes=boxes,
+    ).succeeded
+
+
+class TestWifi:
+    def test_all_simopen_strategies_work(self):
+        for number in (1, 2, 3):
+            assert compat(number, wifi_box()), number
+
+
+class TestTMobile:
+    def test_breaks_strategies_1_and_3(self):
+        assert not compat(1, tmobile_box())
+        assert not compat(3, tmobile_box())
+
+    def test_strategy_2_survives(self):
+        """T-Mobile only filters bare SYNs; the payload SYN passes."""
+        assert compat(2, tmobile_box())
+
+    def test_non_simopen_strategies_survive(self):
+        for number in (4, 6, 7, 8):
+            assert compat(number, tmobile_box()), number
+
+    def test_drop_counter(self):
+        box = tmobile_box()
+        compat(1, box)
+        assert box.dropped >= 1
+
+
+class TestATT:
+    def test_breaks_all_simopen_strategies(self):
+        for number in (1, 2, 3):
+            assert not compat(number, att_box()), number
+
+    def test_non_simopen_strategies_survive(self):
+        for number in (4, 6, 7, 8, 11):
+            assert compat(number, att_box()), number
+
+    def test_reset_clears_counter(self):
+        box = att_box()
+        compat(1, box)
+        assert box.dropped > 0
+        box.reset()
+        assert box.dropped == 0

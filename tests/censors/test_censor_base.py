@@ -1,0 +1,69 @@
+"""Unit tests for shared censor plumbing."""
+
+from repro.censors import Censor, client_oriented_key, flow_key
+from repro.packets import make_tcp_packet
+
+
+class TestFlowKeys:
+    def test_direction_independent(self):
+        c2s = make_tcp_packet("10.0.0.1", "10.0.0.2", 4000, 80)
+        s2c = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, 4000)
+        assert flow_key(c2s) == flow_key(s2c)
+
+    def test_distinct_flows_distinct_keys(self):
+        a = make_tcp_packet("10.0.0.1", "10.0.0.2", 4000, 80)
+        b = make_tcp_packet("10.0.0.1", "10.0.0.2", 4001, 80)
+        assert flow_key(a) != flow_key(b)
+
+    def test_client_oriented_key_matches_packet_key(self):
+        packet = make_tcp_packet("10.0.0.1", "10.0.0.2", 4000, 80)
+        assert client_oriented_key("10.0.0.1", 4000, "10.0.0.2", 80) == flow_key(packet)
+        assert client_oriented_key("10.0.0.2", 80, "10.0.0.1", 4000) == flow_key(packet)
+
+
+class TestInjectionHelpers:
+    class Ctx:
+        now = 0.0
+
+        def __init__(self):
+            self.injected = []
+            self.records = []
+
+        def inject(self, packet, toward):
+            self.injected.append((packet, toward))
+
+        def record(self, kind, packet=None, detail=""):
+            self.records.append((kind, detail))
+
+    def test_inject_rst_pair_addresses(self):
+        censor = Censor()
+        ctx = self.Ctx()
+        censor.inject_rst_pair(
+            ctx,
+            client_ip="10.1.0.2",
+            client_port=4000,
+            server_ip="192.0.2.10",
+            server_port=80,
+            seq_to_client=111,
+            seq_to_server=222,
+        )
+        assert len(ctx.injected) == 2
+        to_client = next(p for p, t in ctx.injected if t == "client")
+        to_server = next(p for p, t in ctx.injected if t == "server")
+        assert to_client.src == "192.0.2.10" and to_client.dst == "10.1.0.2"
+        assert to_client.tcp.seq == 111 and to_client.flags == "RA"
+        assert to_server.src == "10.1.0.2" and to_server.dst == "192.0.2.10"
+        assert to_server.tcp.seq == 222
+
+    def test_record_censorship_counts(self):
+        censor = Censor()
+        ctx = self.Ctx()
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        censor.record_censorship(ctx, packet, "why")
+        censor.record_censorship(ctx, packet, "again")
+        assert censor.censorship_events == 2
+        assert ("censor", "why") in ctx.records
+
+    def test_direction_helper(self):
+        assert Censor.is_client_to_server("c2s")
+        assert not Censor.is_client_to_server("s2c")

@@ -1,0 +1,82 @@
+"""Fuzz tests: censors must survive arbitrary generated strategies.
+
+Geneva is "in essence a network fuzzer" (§2.2) — during evolution the
+censor models see thousands of weird packet sequences. Whatever a random
+strategy does, a trial must terminate with a valid outcome and the censor
+must never crash or corrupt its own state.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Strategy
+from repro.core.evolution import client_side_pool, server_side_pool
+from repro.eval import run_trial
+
+VALID_OUTCOMES = {"success", "reset", "blockpage", "garbled", "timeout"}
+
+
+def random_strategy(seed: int, pool_factory=server_side_pool) -> Strategy:
+    pool = pool_factory()
+    rng = random.Random(seed)
+    trees = [
+        (pool.random_trigger(rng), pool.random_action(rng))
+        for _ in range(rng.randint(1, 2))
+    ]
+    return Strategy(trees)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_gfw_survives_random_server_strategies(seed):
+    result = run_trial("china", "http", random_strategy(seed), seed=seed)
+    assert result.outcome in VALID_OUTCOMES
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=25, deadline=None)
+def test_kazakhstan_survives_random_server_strategies(seed):
+    result = run_trial("kazakhstan", "http", random_strategy(seed), seed=seed)
+    assert result.outcome in VALID_OUTCOMES
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=20, deadline=None)
+def test_iran_survives_random_server_strategies(seed):
+    result = run_trial("iran", "https", random_strategy(seed), seed=seed)
+    assert result.outcome in VALID_OUTCOMES
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=20, deadline=None)
+def test_india_survives_random_client_strategies(seed):
+    result = run_trial(
+        "india",
+        "http",
+        None,
+        client_strategy=random_strategy(seed, client_side_pool),
+        seed=seed,
+    )
+    assert result.outcome in VALID_OUTCOMES
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=25, deadline=None)
+def test_gfw_ftp_box_survives_random_strategies(seed):
+    """The FTP box has the most anomaly rules; fuzz it specifically."""
+    result = run_trial("china", "ftp", random_strategy(seed), seed=seed)
+    assert result.outcome in VALID_OUTCOMES
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=15, deadline=None)
+def test_censor_state_is_bounded(seed):
+    """Per-trial flow tables never grow beyond the connections created."""
+    from repro.eval.runner import Trial
+
+    trial = Trial("china", "dns", random_strategy(seed), seed=seed)
+    trial.run()
+    for box in trial.censor.boxes.values():
+        assert len(box.flows) <= 3  # at most the DNS retries

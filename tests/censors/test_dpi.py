@@ -1,0 +1,107 @@
+"""Tests for the DPI classifiers shared by the censor models."""
+
+from repro.apps.dns import build_query
+from repro.apps.tls import build_client_hello
+from repro.censors import (
+    CHINA_KEYWORDS,
+    INDIA_KEYWORDS,
+    looks_like_http_get,
+    match_dns,
+    match_ftp,
+    match_http,
+    match_https,
+    match_smtp,
+)
+
+
+class TestHTTP:
+    def test_keyword_in_url_forbidden(self):
+        data = b"GET /?q=ultrasurf HTTP/1.1\r\nHost: example.com\r\n\r\n"
+        assert match_http(data, CHINA_KEYWORDS) is True
+
+    def test_benign_get(self):
+        data = b"GET /?q=kittens HTTP/1.1\r\nHost: benign.example\r\n\r\n"
+        assert match_http(data, CHINA_KEYWORDS) is False
+
+    def test_forbidden_host_header(self):
+        data = b"GET / HTTP/1.1\r\nHost: blocked.example.in\r\n\r\n"
+        assert match_http(data, INDIA_KEYWORDS) is True
+
+    def test_not_http_returns_none(self):
+        assert match_http(b"\x16\x03\x03...", CHINA_KEYWORDS) is None
+        assert match_http(b"RETR file\r\n", CHINA_KEYWORDS) is None
+
+    def test_segmented_request_unrecognized(self):
+        """The first 10 bytes of a request have no complete request line."""
+        data = b"GET /?q=ultrasurf HTTP/1.1\r\nHost: x\r\n\r\n"
+        assert match_http(data[:10], CHINA_KEYWORDS) is None
+        assert match_http(data[10:], CHINA_KEYWORDS) is None
+
+    def test_get_prefix_matcher(self):
+        assert looks_like_http_get(b"GET / HTTP1.")
+        assert looks_like_http_get(b"GET / HTTP/1.1\r\n")
+        assert not looks_like_http_get(b"GET / HTTP1")  # missing "."
+        assert not looks_like_http_get(b"POST / HTTP/1.1")
+        assert not looks_like_http_get(b"\x99\x88random")
+
+
+class TestHTTPS:
+    def test_forbidden_sni(self):
+        hello = build_client_hello("www.wikipedia.org")
+        assert match_https(hello, CHINA_KEYWORDS) is True
+
+    def test_benign_sni(self):
+        hello = build_client_hello("benign.example.com")
+        assert match_https(hello, CHINA_KEYWORDS) is False
+
+    def test_truncated_hello_none(self):
+        hello = build_client_hello("www.wikipedia.org")
+        assert match_https(hello[:15], CHINA_KEYWORDS) is None
+
+    def test_non_tls_none(self):
+        assert match_https(b"GET / HTTP/1.1", CHINA_KEYWORDS) is None
+
+
+class TestDNS:
+    def test_forbidden_qname(self):
+        assert match_dns(build_query("www.wikipedia.org", 9), CHINA_KEYWORDS) is True
+
+    def test_benign_qname(self):
+        assert match_dns(build_query("benign.example.com", 9), CHINA_KEYWORDS) is False
+
+    def test_segment_none(self):
+        query = build_query("www.wikipedia.org", 9)
+        assert match_dns(query[:8], CHINA_KEYWORDS) is None
+
+
+class TestFTP:
+    def test_forbidden_retr(self):
+        assert match_ftp(b"RETR ultrasurf.txt\r\n", CHINA_KEYWORDS) is True
+
+    def test_benign_commands(self):
+        assert match_ftp(b"USER anonymous\r\n", CHINA_KEYWORDS) is False
+        assert match_ftp(b"RETR notes.txt\r\n", CHINA_KEYWORDS) is False
+
+    def test_segmented_retr_not_matched(self):
+        assert match_ftp(b"RETR ultra", CHINA_KEYWORDS) is False  # arg incomplete
+        assert match_ftp(b"surf.txt\r\n", CHINA_KEYWORDS) is None  # no verb
+
+    def test_non_ftp_none(self):
+        assert match_ftp(b"GARBAGE LINE\r\n", CHINA_KEYWORDS) is None
+
+
+class TestSMTP:
+    def test_forbidden_recipient(self):
+        assert match_smtp(b"RCPT TO:<xiazai@upup.info>\r\n", CHINA_KEYWORDS) is True
+
+    def test_case_insensitive_recipient(self):
+        assert match_smtp(b"RCPT TO:<XIAZAI@UPUP.INFO>\r\n", CHINA_KEYWORDS) is True
+
+    def test_benign_recipient(self):
+        assert match_smtp(b"RCPT TO:<friend@example.org>\r\n", CHINA_KEYWORDS) is False
+
+    def test_other_commands_benign(self):
+        assert match_smtp(b"HELO me\r\nMAIL FROM:<a@b.c>\r\n", CHINA_KEYWORDS) is False
+
+    def test_non_smtp_none(self):
+        assert match_smtp(b"???\r\n", CHINA_KEYWORDS) is None

@@ -1,0 +1,83 @@
+"""Unit tests for the GFW's UDP DNS forged-response injector."""
+
+import random
+
+from repro.apps.dns import build_query
+from repro.censors import CHINA_KEYWORDS, Censor
+from repro.censors.gfw.dnsudp import DNSUDPInjector, LEMON_ADDRESS
+from repro.packets import make_udp_packet
+
+
+class FakeCtx:
+    now = 0.0
+
+    def __init__(self):
+        self.injected = []
+
+    def inject(self, packet, toward):
+        self.injected.append((packet, toward))
+
+    def record(self, *args, **kwargs):
+        pass
+
+
+def make_injector(miss_prob=0.0):
+    return DNSUDPInjector(
+        CHINA_KEYWORDS, censor=Censor(), rng=random.Random(1), miss_prob=miss_prob
+    ), FakeCtx()
+
+
+def udp_query(qname, txid=0x1234, dport=53):
+    payload = build_query(qname, txid)[2:]  # strip the TCP length prefix
+    return make_udp_packet("10.1.0.2", "8.8.8.8", 40000, dport, load=payload)
+
+
+class TestInjector:
+    def test_forbidden_query_injected(self):
+        injector, ctx = make_injector()
+        injector.observe(udp_query("www.wikipedia.org"), "c2s", ctx)
+        assert injector.injections == 1
+        packet, toward = ctx.injected[0]
+        assert toward == "client"
+        assert packet.is_udp and packet.sport == 53
+
+    def test_forged_response_carries_query_txid(self):
+        injector, ctx = make_injector()
+        injector.observe(udp_query("www.wikipedia.org", txid=0xBEEF), "c2s", ctx)
+        packet, _ = ctx.injected[0]
+        assert int.from_bytes(packet.load[:2], "big") == 0xBEEF
+
+    def test_forged_answer_is_lemon(self):
+        from repro.apps.dns import parse_answer_address
+
+        injector, ctx = make_injector()
+        injector.observe(udp_query("www.wikipedia.org"), "c2s", ctx)
+        packet, _ = ctx.injected[0]
+        framed = len(packet.load).to_bytes(2, "big") + packet.load
+        assert parse_answer_address(framed) == LEMON_ADDRESS
+
+    def test_benign_query_ignored(self):
+        injector, ctx = make_injector()
+        injector.observe(udp_query("benign.example.com"), "c2s", ctx)
+        assert injector.injections == 0
+
+    def test_non_dns_port_ignored(self):
+        injector, ctx = make_injector()
+        injector.observe(udp_query("www.wikipedia.org", dport=5353), "c2s", ctx)
+        assert injector.injections == 0
+
+    def test_server_direction_ignored(self):
+        injector, ctx = make_injector()
+        injector.observe(udp_query("www.wikipedia.org"), "s2c", ctx)
+        assert injector.injections == 0
+
+    def test_garbage_payload_ignored(self):
+        injector, ctx = make_injector()
+        garbage = make_udp_packet("10.1.0.2", "8.8.8.8", 40000, 53, load=b"\x01\x02")
+        injector.observe(garbage, "c2s", ctx)
+        assert injector.injections == 0
+
+    def test_miss_probability(self):
+        injector, ctx = make_injector(miss_prob=1.0)
+        injector.observe(udp_query("www.wikipedia.org"), "c2s", ctx)
+        assert injector.injections == 0

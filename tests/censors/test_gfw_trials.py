@@ -1,0 +1,131 @@
+"""Trial-level GFW behaviour: per-protocol boxes, rules 1–3, Table 2 shape.
+
+Statistical assertions use generous tolerances; the exact Table 2 numbers
+are regenerated (with more trials) by the benchmark suite.
+"""
+
+import pytest
+
+from repro.core import deployed_strategy
+from repro.eval import run_trial, success_rate
+
+
+def rate(protocol, number, trials=80, seed=0, **kwargs):
+    strategy = None if number == 0 else deployed_strategy(number)
+    return success_rate("china", protocol, strategy, trials=trials, seed=seed, **kwargs)
+
+
+class TestBaselines:
+    def test_all_protocols_censored_without_evasion(self):
+        for protocol in ("dns", "ftp", "http", "https"):
+            assert rate(protocol, 0, trials=30, seed=11) <= 0.15, protocol
+
+    def test_smtp_censorship_is_flaky(self):
+        """The GFW's SMTP box misses roughly a quarter of requests."""
+        measured = rate("smtp", 0, trials=120, seed=11)
+        assert 0.12 <= measured <= 0.40
+
+    def test_benign_requests_unaffected(self):
+        for protocol in ("http", "https", "dns", "ftp", "smtp"):
+            result = run_trial(
+                "china", protocol, None, seed=13,
+                workload=__import__("repro.eval", fromlist=["benign_workload"]).benign_workload(protocol),
+            )
+            assert result.succeeded, protocol
+
+    def test_censorship_not_port_specific(self):
+        """The GFW censors regardless of the server port (§6)."""
+        result = run_trial("china", "http", None, seed=14, server_port=8080)
+        assert not result.succeeded
+        assert result.censored
+
+
+class TestResyncRules:
+    @pytest.mark.slow
+    def test_rule2_rst_resync_not_for_https(self):
+        """Strategy 7 (RST-based) works for HTTP but not HTTPS."""
+        assert rate("http", 7, seed=21) > 0.35
+        assert rate("https", 7, seed=21) < 0.15
+
+    @pytest.mark.slow
+    def test_rule1_payload_resync_works_for_https(self):
+        """Strategy 6 (payload-based) works even for HTTPS."""
+        assert rate("https", 6, seed=22) > 0.35
+
+    @pytest.mark.slow
+    def test_rule3_corrupt_ack_is_ftp_only(self):
+        """Strategy 4 helps FTP but not HTTP/HTTPS."""
+        assert rate("ftp", 4, seed=23) > 0.18
+        assert rate("http", 4, seed=23) < 0.15
+        assert rate("https", 4, seed=23) < 0.15
+
+    @pytest.mark.slow
+    def test_strategy5_ftp_nearly_always_works(self):
+        assert rate("ftp", 5, seed=24) > 0.85
+
+    @pytest.mark.slow
+    def test_dns_retries_amplify(self):
+        single = rate("dns", 1, seed=25, dns_tries=1)
+        tripled = rate("dns", 1, seed=25, dns_tries=3)
+        assert tripled > single + 0.2
+
+
+class TestSegmentation:
+    @pytest.mark.slow
+    def test_http_box_reassembles(self):
+        assert rate("http", 8, seed=31) < 0.15
+
+    @pytest.mark.slow
+    def test_smtp_box_cannot_reassemble(self):
+        assert rate("smtp", 8, seed=31) > 0.9
+
+    @pytest.mark.slow
+    def test_ftp_box_flaky_reassembly(self):
+        measured = rate("ftp", 8, seed=31, trials=120)
+        assert 0.3 <= measured <= 0.65
+
+
+class TestMultiBox:
+    def test_boxes_fail_open(self):
+        """A flow the GFW never saw a SYN for is never censored."""
+        import random
+
+        from repro.censors import GreatFirewall
+        from repro.netsim import PathContext
+        from repro.packets import make_tcp_packet
+
+        class Ctx:
+            now = 0.0
+
+            def inject(self, packet, toward):
+                raise AssertionError("must not inject")
+
+            def record(self, *a, **k):
+                pass
+
+        gfw = GreatFirewall(rng=random.Random(1))
+        data = make_tcp_packet(
+            "10.1.0.2", "192.0.2.10", 5555, 80, flags="PA", seq=1, ack=1,
+            load=b"GET /?q=ultrasurf HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        gfw.process(data, "c2s", Ctx())
+        assert gfw.censorship_events == 0
+
+    def test_only_matching_box_censors(self):
+        """An HTTP request trips the HTTP box; the other boxes stay quiet."""
+        from repro.eval.runner import Trial
+
+        trial = Trial("china", "http", None, seed=41)
+        trial.run()
+        gfw = trial.censor
+        assert gfw.box("http").censor_count == 1
+        for protocol in ("dns", "ftp", "https", "smtp"):
+            assert gfw.box(protocol).censor_count == 0, protocol
+
+    def test_every_box_tracks_every_flow(self):
+        from repro.eval.runner import Trial
+
+        trial = Trial("china", "http", None, seed=42)
+        trial.run()
+        for protocol in ("dns", "ftp", "http", "https", "smtp"):
+            assert len(trial.censor.box(protocol).flows) == 1, protocol

@@ -1,0 +1,67 @@
+"""Tests for India's Airtel censor model."""
+
+from repro.core import deployed_strategy
+from repro.eval import run_trial
+
+
+class TestAirtel:
+    def test_forbidden_host_blockpage(self):
+        result = run_trial("india", "http", None, seed=1)
+        assert result.outcome == "blockpage"
+        assert result.censored
+
+    def test_benign_host_untouched(self):
+        result = run_trial(
+            "india", "http", None, seed=1,
+            workload={"path": "/", "host_header": "benign.example.com"},
+        )
+        assert result.succeeded
+
+    def test_only_port_80_censored(self):
+        """Hosting on any other port defeats censorship completely (§5.2)."""
+        result = run_trial("india", "http", None, seed=1, server_port=8080)
+        assert result.succeeded
+
+    def test_stateless_no_handshake_needed(self):
+        """A forbidden request without a 3WHS still elicits censorship."""
+        from repro.censors import AirtelCensor
+        from repro.netsim import PathContext
+        from repro.packets import make_tcp_packet
+
+        class Ctx:
+            now = 0.0
+            injected = []
+
+            def inject(self, packet, toward):
+                Ctx.injected.append((packet, toward))
+
+            def record(self, *a, **k):
+                pass
+
+        censor = AirtelCensor()
+        raw = make_tcp_packet(
+            "10.1.0.2", "192.0.2.10", 5555, 80, flags="PA", seq=1, ack=1,
+            load=b"GET / HTTP/1.1\r\nHost: blocked.example.in\r\n\r\n",
+        )
+        out = censor.process(raw, "c2s", Ctx())
+        assert out == [raw]  # on-path: still forwarded
+        assert censor.censorship_events == 1
+        assert len(Ctx.injected) == 2  # block page + follow-up RST
+
+    def test_block_page_then_rst(self):
+        result = run_trial("india", "http", None, seed=2)
+        injected = [e for e in result.trace.events if e.kind == "inject"]
+        assert injected[0].packet.flags == "FPA"
+        assert injected[0].packet.load
+        assert injected[1].packet.flags == "RA"
+
+    def test_window_reduction_evades(self):
+        """Strategy 8: Airtel cannot reassemble segments."""
+        result = run_trial("india", "http", deployed_strategy(8), seed=3)
+        assert result.succeeded
+        assert not result.censored
+
+    def test_other_protocols_uncensored(self):
+        for protocol in ("dns", "ftp", "https", "smtp"):
+            result = run_trial("india", protocol, None, seed=4)
+            assert result.succeeded, protocol

@@ -1,0 +1,118 @@
+"""Tests for Iran's blackholing censor model."""
+
+from repro.core import deployed_strategy
+from repro.eval import run_trial
+
+
+class TestIran:
+    def test_http_blackholed(self):
+        result = run_trial("iran", "http", None, seed=1)
+        assert not result.succeeded
+        assert result.outcome == "timeout"  # blackhole: client just times out
+        assert result.censored
+
+    def test_https_blackholed_by_sni(self):
+        result = run_trial("iran", "https", None, seed=1)
+        assert not result.succeeded
+        assert result.censored
+
+    def test_benign_traffic_untouched(self):
+        result = run_trial(
+            "iran", "http", None, seed=1,
+            workload={"path": "/", "host_header": "benign.example.com"},
+        )
+        assert result.succeeded
+
+    def test_default_ports_only(self):
+        result = run_trial("iran", "http", None, seed=1, server_port=8080)
+        assert result.succeeded
+        result = run_trial("iran", "https", None, seed=1, server_port=8443)
+        assert result.succeeded
+
+    def test_offending_packet_dropped_in_path(self):
+        """In-path censor: the forbidden request never reaches the server."""
+        result = run_trial("iran", "http", None, seed=2)
+        server_received = [
+            e.packet
+            for e in result.trace.events
+            if e.kind == "recv" and e.location == "server" and e.packet.load
+        ]
+        assert server_received == []
+
+    def test_subsequent_packets_blackholed(self):
+        result = run_trial("iran", "http", None, seed=3)
+        drops = [
+            e for e in result.trace.events
+            if e.kind == "drop" and "blackholed" in e.detail
+        ]
+        assert drops  # retransmissions eaten too
+
+    def test_dns_over_tcp_not_censored(self):
+        """Contrary to 2013 findings, Iran no longer censors DNS-over-TCP."""
+        result = run_trial(
+            "iran", "dns", None, seed=4, workload={"qname": "youtube.com"}
+        )
+        assert result.succeeded
+
+    def test_window_reduction_evades_http_and_https(self):
+        for protocol in ("http", "https"):
+            result = run_trial("iran", protocol, deployed_strategy(8), seed=5)
+            assert result.succeeded, protocol
+
+
+class TestBlackholeExpiry:
+    def test_blackhole_expires_after_sixty_seconds(self):
+        """Unit-level: packets on a blackholed flow pass once 60s elapse."""
+        from repro.censors import IranCensor
+        from repro.packets import make_tcp_packet
+
+        class Ctx:
+            now = 0.0
+
+            def inject(self, packet, toward):
+                raise AssertionError("iran never injects")
+
+            def record(self, *args, **kwargs):
+                pass
+
+        censor = IranCensor()
+        ctx = Ctx()
+        forbidden = make_tcp_packet(
+            "10.1.0.2", "192.0.2.10", 41000, 80, flags="PA", seq=1, ack=1,
+            load=b"GET / HTTP/1.1\r\nHost: youtube.com\r\n\r\n",
+        )
+        assert censor.process(forbidden, "c2s", ctx) == []
+        benign = make_tcp_packet(
+            "10.1.0.2", "192.0.2.10", 41000, 80, flags="PA", seq=50, ack=1,
+            load=b"GET /ok HTTP/1.1\r\nHost: benign.example.com\r\n\r\n",
+        )
+        ctx.now = 30.0
+        assert censor.process(benign, "c2s", ctx) == []  # still blackholed
+        ctx.now = 61.0
+        assert censor.process(benign, "c2s", ctx) == [benign]
+
+    def test_server_direction_never_blackholed(self):
+        from repro.censors import IranCensor
+        from repro.packets import make_tcp_packet
+
+        class Ctx:
+            now = 0.0
+
+            def inject(self, packet, toward):
+                pass
+
+            def record(self, *args, **kwargs):
+                pass
+
+        censor = IranCensor()
+        ctx = Ctx()
+        forbidden = make_tcp_packet(
+            "10.1.0.2", "192.0.2.10", 41000, 80, flags="PA", seq=1, ack=1,
+            load=b"GET / HTTP/1.1\r\nHost: youtube.com\r\n\r\n",
+        )
+        censor.process(forbidden, "c2s", ctx)
+        response = make_tcp_packet(
+            "192.0.2.10", "10.1.0.2", 80, 41000, flags="PA", seq=1, ack=40,
+            load=b"HTTP/1.1 200 OK\r\n\r\n",
+        )
+        assert censor.process(response, "s2c", ctx) == [response]

@@ -1,0 +1,100 @@
+"""Tests for Kazakhstan's in-path MITM censor model."""
+
+from repro.core import Strategy, deployed_strategy
+from repro.eval import run_trial
+
+
+class TestCensorship:
+    def test_forbidden_host_gets_blockpage(self):
+        result = run_trial("kazakhstan", "http", None, seed=1)
+        assert result.outcome == "blockpage"
+        assert result.censored
+
+    def test_request_intercepted_not_forwarded(self):
+        """MITM: the forbidden request never reaches the server."""
+        result = run_trial("kazakhstan", "http", None, seed=1)
+        server_data = [
+            e.packet
+            for e in result.trace.events
+            if e.kind == "recv" and e.location == "server" and e.packet.load
+        ]
+        assert server_data == []
+
+    def test_benign_host_untouched(self):
+        result = run_trial(
+            "kazakhstan", "http", None, seed=1,
+            workload={"path": "/", "host_header": "benign.example.com"},
+        )
+        assert result.succeeded
+
+    def test_https_not_censored(self):
+        """Kazakhstan's HTTPS interception is inactive (Table 2 note)."""
+        result = run_trial("kazakhstan", "https", None, seed=1)
+        assert result.succeeded
+
+    def test_port_80_only(self):
+        result = run_trial("kazakhstan", "http", None, seed=1, server_port=8080)
+        assert result.succeeded
+
+
+class TestEvasionStrategies:
+    def test_strategy_8_window_reduction(self):
+        assert run_trial("kazakhstan", "http", deployed_strategy(8), seed=2).succeeded
+
+    def test_strategy_9_triple_load(self):
+        assert run_trial("kazakhstan", "http", deployed_strategy(9), seed=2).succeeded
+
+    def test_strategy_10_double_get(self):
+        assert run_trial("kazakhstan", "http", deployed_strategy(10), seed=2).succeeded
+
+    def test_strategy_11_null_flags(self):
+        assert run_trial("kazakhstan", "http", deployed_strategy(11), seed=2).succeeded
+
+    def test_two_loads_insufficient(self):
+        """Strategy 9 needs exactly three payload copies (§5.3)."""
+        two = Strategy.parse(
+            "[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate,)-| \\/"
+        )
+        assert not run_trial("kazakhstan", "http", two, seed=3).succeeded
+
+    def test_four_loads_still_work(self):
+        four = Strategy.parse(
+            "[TCP:flags:SA]-tamper{TCP:load:corrupt}"
+            "(duplicate(duplicate(duplicate,),),)-| \\/"
+        )
+        assert run_trial("kazakhstan", "http", four, seed=3).succeeded
+
+    def test_single_get_insufficient(self):
+        one = Strategy.parse(
+            "[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}-| \\/"
+        )
+        assert not run_trial("kazakhstan", "http", one, seed=3).succeeded
+
+    def test_get_without_dot_fails(self):
+        broken = Strategy.parse(
+            "[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1}(duplicate,)-| \\/"
+        )
+        assert not run_trial("kazakhstan", "http", broken, seed=3).succeeded
+
+    def test_null_flags_variant_with_push_only(self):
+        """§5.3: any flag combination avoiding FIN/RST/SYN/ACK works."""
+        push_only = Strategy.parse(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/"
+        )
+        assert run_trial("kazakhstan", "http", push_only, seed=4).succeeded
+
+    def test_mitm_duration_expires(self):
+        """After ~15s the MITM interception lapses."""
+        from repro.eval.runner import Trial, SERVER_IP
+        from repro.apps import HTTPClient
+
+        trial = Trial("kazakhstan", "http", None, seed=5)
+        trial.client_app.start()
+        trial.network.run(until=20.0)  # censorship + MITM window passes
+        retry = HTTPClient(
+            trial.client_host, SERVER_IP, 80,
+            path="/", host_header="benign.example.com",
+        )
+        retry.start()
+        trial.network.run(until=40.0)
+        assert retry.succeeded

@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim import Network, Scheduler
+from repro.tcpstack import Host, SERVER_PERSONALITY, personality
+
+
+class LinkedHosts:
+    """A client/server pair wired through a Network, ready to exchange."""
+
+    def __init__(self, middleboxes=(), client_os="ubuntu-18.04.1", seed=7):
+        self.scheduler = Scheduler()
+        self.client = Host(
+            "client", "10.0.0.1", self.scheduler, random.Random(seed), personality(client_os)
+        )
+        self.server = Host(
+            "server", "10.0.0.2", self.scheduler, random.Random(seed + 1), SERVER_PERSONALITY
+        )
+        self.network = Network(
+            self.scheduler, self.client, self.server, middleboxes
+        )
+        self.client.attach(self.network)
+        self.server.attach(self.network)
+
+    def run(self, until=30.0):
+        """Drain the simulation."""
+        self.network.run(until=until)
+        return self.network.trace
+
+
+@pytest.fixture
+def linked_hosts():
+    """Factory fixture building a wired client/server pair."""
+
+    def build(middleboxes=(), client_os="ubuntu-18.04.1", seed=7):
+        return LinkedHosts(middleboxes=middleboxes, client_os=client_os, seed=seed)
+
+    return build
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return random.Random(1234)

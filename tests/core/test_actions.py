@@ -1,0 +1,139 @@
+"""Tests for Geneva's action building blocks."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DropAction,
+    DuplicateAction,
+    FragmentAction,
+    SendAction,
+    TamperAction,
+)
+from repro.packets import make_tcp_packet
+
+
+@pytest.fixture
+def synack():
+    return make_tcp_packet(
+        "10.0.0.2", "10.0.0.1", 80, 4000, flags="SA", seq=1000, ack=2001,
+        options=[("mss", 1460), ("wscale", 7)],
+    )
+
+
+class TestLeaves:
+    def test_send_passes_through(self, synack, rng):
+        assert SendAction().apply(synack, rng) == [synack]
+
+    def test_drop_discards(self, synack, rng):
+        assert DropAction().apply(synack, rng) == []
+
+    def test_leaf_strings(self):
+        assert str(SendAction()) == "send"
+        assert str(DropAction()) == "drop"
+
+
+class TestDuplicate:
+    def test_two_independent_copies(self, synack, rng):
+        out = DuplicateAction().apply(synack, rng)
+        assert len(out) == 2
+        out[0].tcp.seq = 1
+        assert out[1].tcp.seq == 1000
+
+    def test_children_applied_in_order(self, synack, rng):
+        action = DuplicateAction(
+            TamperAction("TCP", "flags", "replace", "R"),
+            TamperAction("TCP", "flags", "replace", "S"),
+        )
+        out = action.apply(synack, rng)
+        assert [p.flags for p in out] == ["R", "S"]
+
+    def test_nested_duplicate_three_copies(self, synack, rng):
+        action = TamperAction(
+            "TCP", "load", "corrupt", child=DuplicateAction(DuplicateAction(), SendAction())
+        )
+        out = action.apply(synack, rng)
+        assert len(out) == 3
+        loads = {bytes(p.load) for p in out}
+        assert len(loads) == 1 and b"" not in loads  # same random payload on all
+
+    def test_string_forms(self):
+        assert str(DuplicateAction()) == "duplicate"
+        assert (
+            str(DuplicateAction(TamperAction("TCP", "ack", "corrupt"), SendAction()))
+            == "duplicate(tamper{TCP:ack:corrupt},)"
+        )
+        assert (
+            str(DuplicateAction(SendAction(), DropAction())) == "duplicate(,drop)"
+        )
+
+
+class TestTamper:
+    def test_replace_flags(self, synack, rng):
+        out = TamperAction("TCP", "flags", "replace", "S").apply(synack, rng)
+        assert out[0].flags == "S"
+
+    def test_replace_preserves_seq(self, synack, rng):
+        out = TamperAction("TCP", "flags", "replace", "S").apply(synack, rng)
+        assert out[0].tcp.seq == 1000  # sim-open SYN keeps the SYN+ACK's seq
+
+    def test_corrupt_ack(self, synack, rng):
+        out = TamperAction("TCP", "ack", "corrupt").apply(synack, rng)
+        assert out[0].tcp.ack != 2001
+
+    def test_corrupt_load_adds_payload(self, synack, rng):
+        out = TamperAction("TCP", "load", "corrupt").apply(synack, rng)
+        assert out[0].load
+
+    def test_chained_tampers(self, synack, rng):
+        action = TamperAction(
+            "TCP", "window", "replace", "10",
+            child=TamperAction("TCP", "options-wscale", "replace", ""),
+        )
+        out = action.apply(synack, rng)
+        assert out[0].tcp.window == 10
+        assert out[0].tcp.get_option("wscale") is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TamperAction("TCP", "flags", "mangle")
+
+    def test_string_form(self):
+        assert (
+            str(TamperAction("TCP", "window", "replace", "10"))
+            == "tamper{TCP:window:replace:10}"
+        )
+        assert str(TamperAction("TCP", "ack", "corrupt")) == "tamper{TCP:ack:corrupt}"
+
+    def test_tamper_chksum_makes_insertion_packet(self, synack, rng):
+        out = TamperAction("TCP", "chksum", "corrupt").apply(synack, rng)
+        assert not out[0].checksums_ok()
+
+
+class TestFragment:
+    def test_splits_payload(self, rng):
+        packet = make_tcp_packet(
+            "1.1.1.1", "2.2.2.2", 1, 2, flags="PA", seq=100, load=b"abcdefgh"
+        )
+        out = FragmentAction("tcp", offset=3).apply(packet, rng)
+        assert [bytes(p.load) for p in out] == [b"abc", b"defgh"]
+        assert out[0].tcp.seq == 100
+        assert out[1].tcp.seq == 103
+
+    def test_out_of_order_delivery(self, rng):
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="PA", load=b"abcdef")
+        out = FragmentAction("tcp", offset=2, in_order=False).apply(packet, rng)
+        assert bytes(out[0].load) == b"cdef"
+        assert bytes(out[1].load) == b"ab"
+
+    def test_empty_payload_noop(self, synack, rng):
+        out = FragmentAction("tcp", offset=4).apply(synack, rng)
+        assert len(out) == 1
+
+    def test_tree_size(self):
+        action = DuplicateAction(
+            TamperAction("TCP", "flags", "replace", "R"),
+            TamperAction("TCP", "flags", "replace", "S"),
+        )
+        assert action.tree_size() == 5  # dup + 2 tampers + 2 send leaves

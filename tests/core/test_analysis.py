@@ -1,0 +1,104 @@
+"""Tests for strategy analysis (mechanism classification)."""
+
+import pytest
+
+from repro.core import (
+    Strategy,
+    compat_strategy,
+    deployed_strategy,
+    explain,
+    strategy,
+)
+
+
+class TestMechanismDetection:
+    def test_strategy_1(self):
+        report = explain(strategy(1))
+        assert "simultaneous-open" in report.mechanisms
+        assert "injected-rst" in report.mechanisms
+        assert not report.breaks_handshake
+
+    def test_strategy_2(self):
+        report = explain(strategy(2))
+        assert "simultaneous-open" in report.mechanisms
+        assert "handshake-payload" in report.mechanisms
+
+    def test_strategy_3(self):
+        report = explain(strategy(3))
+        assert "corrupt-ack" in report.mechanisms
+        assert "simultaneous-open" in report.mechanisms
+
+    def test_strategy_5(self):
+        report = explain(strategy(5))
+        assert "corrupt-ack" in report.mechanisms
+        assert "handshake-payload" in report.mechanisms
+
+    def test_strategy_7(self):
+        report = explain(strategy(7))
+        assert "injected-rst" in report.mechanisms
+        assert "corrupt-ack" in report.mechanisms
+        assert not report.breaks_handshake
+
+    def test_strategy_8(self):
+        report = explain(strategy(8))
+        assert report.mechanisms == ["window-reduction"]
+
+    def test_strategy_11(self):
+        report = explain(strategy(11))
+        assert "null-flags" in report.mechanisms
+
+    def test_compat_variants_flag_insertion_packets(self):
+        for number in (5, 9, 10):
+            report = explain(compat_strategy(number))
+            assert "insertion-packet" in report.mechanisms, number
+            assert not report.breaks_handshake
+
+    def test_noop_strategy(self):
+        report = explain(Strategy.parse(" \\/ "))
+        assert report.mechanisms == []
+        assert len(report.packets) == 1  # the SYN+ACK passes through
+
+    def test_dropping_strategy_flagged_as_broken(self):
+        report = explain(Strategy.parse("[TCP:flags:SA]-drop-| \\/"))
+        assert report.breaks_handshake
+        assert "drops-handshake" in report.mechanisms
+        assert report.packets == []
+
+    def test_all_eleven_paper_strategies_do_not_break_handshake(self):
+        for number in range(1, 12):
+            report = explain(deployed_strategy(number))
+            assert not report.breaks_handshake, number
+
+
+class TestReportRendering:
+    def test_render_contains_packets_and_mechanisms(self):
+        report = explain(strategy(1))
+        text = report.render()
+        assert "[R]" in text and "[S]" in text
+        assert "simultaneous-open" in text
+
+    def test_packet_summaries(self):
+        report = explain(strategy(9))
+        assert len(report.packets) == 3
+        for packet in report.packets:
+            assert "load=" in packet.summary()
+
+    def test_bad_checksum_marked(self):
+        report = explain(compat_strategy(9))
+        assert any("BAD-CHKSUM" in p.summary() for p in report.packets)
+
+
+class TestCLIExplain:
+    def test_explain_number(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "simultaneous-open" in out
+
+    def test_explain_string(self, capsys):
+        from repro.cli import main
+
+        code = main(["explain", "[TCP:flags:SA]-drop-| \\/"])
+        assert code == 1  # breaks the handshake
+        assert "drops-handshake" in capsys.readouterr().out

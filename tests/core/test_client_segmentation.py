@@ -1,0 +1,85 @@
+"""Tests for the client-side segmentation species (fragment end-to-end).
+
+These are the classic client-side strategies Strategy 8 translates into a
+server-side form: India/Kazakhstan cannot reassemble at all, China's FTP
+box reassembles only about half the time, and China's HTTP box (which
+re-learned reassembly in 2013, killing brdgrd) catches in-order segments.
+"""
+
+import pytest
+
+from repro.core import Strategy
+from repro.core.strategies import CLIENT_SEGMENTATION_STRATEGIES
+from repro.eval import run_trial
+
+
+def seg(name):
+    return Strategy.parse(CLIENT_SEGMENTATION_STRATEGIES[name], name=name)
+
+
+class TestSegmentationSpecies:
+    def test_corpus_contents(self):
+        assert set(CLIENT_SEGMENTATION_STRATEGIES) == {
+            "segmentation-8",
+            "segmentation-4",
+            "segmentation-8-ooo",
+        }
+
+    @pytest.mark.parametrize("name", sorted(CLIENT_SEGMENTATION_STRATEGIES))
+    def test_defeats_india(self, name):
+        result = run_trial("india", "http", None, client_strategy=seg(name), seed=1)
+        assert result.succeeded
+
+    @pytest.mark.parametrize("name", sorted(CLIENT_SEGMENTATION_STRATEGIES))
+    def test_defeats_kazakhstan(self, name):
+        result = run_trial(
+            "kazakhstan", "http", None, client_strategy=seg(name), seed=1
+        )
+        assert result.succeeded
+
+    def test_in_order_fails_against_china_http(self):
+        """The GFW's HTTP box reassembles in-order segments (post-2013)."""
+        wins = sum(
+            run_trial(
+                "china", "http", None, client_strategy=seg("segmentation-8"),
+                seed=10 + i,
+            ).succeeded
+            for i in range(15)
+        )
+        assert wins <= 3  # at the baseline miss rate
+
+    def test_partially_works_against_china_ftp(self):
+        """The FTP box fails to reassemble roughly half the time."""
+        wins = sum(
+            run_trial(
+                "china", "ftp", None, client_strategy=seg("segmentation-8"),
+                seed=40 + i * 7919,
+            ).succeeded
+            for i in range(40)
+        )
+        assert 10 <= wins <= 30
+
+    def test_segments_visible_on_wire(self):
+        result = run_trial(
+            "india", "http", None, client_strategy=seg("segmentation-4"), seed=2
+        )
+        client_data = [
+            e.packet
+            for e in result.trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.load
+        ]
+        assert len(client_data) >= 2
+        assert len(client_data[0].load) == 4
+
+    def test_out_of_order_delivery_order(self):
+        result = run_trial(
+            "india", "http", None, client_strategy=seg("segmentation-8-ooo"), seed=2
+        )
+        client_data = [
+            e.packet
+            for e in result.trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.load
+        ]
+        # The later-sequence segment is transmitted first.
+        assert client_data[0].tcp.seq > client_data[1].tcp.seq
+        assert result.succeeded  # the server stack reorders

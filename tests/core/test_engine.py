@@ -1,0 +1,63 @@
+"""Tests for the strategy engine at a host's wire boundary."""
+
+import random
+
+from repro.core import Strategy, StrategyEngine, install_strategy
+from repro.packets import make_tcp_packet
+
+
+class TestEngine:
+    def test_outbound_transformation_on_wire(self, linked_hosts):
+        pair = linked_hosts()
+        strategy = Strategy.parse(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},"
+            "tamper{TCP:flags:replace:S})-| \\/"
+        )
+        install_strategy(pair.server, strategy, random.Random(1))
+        pair.server.listen(80, lambda ep: None)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        trace = pair.run(until=0.3)
+        server_sends = [
+            e.packet.flags
+            for e in trace.events
+            if e.kind == "send" and e.location == "server"
+        ]
+        assert server_sends[:2] == ["R", "S"]
+
+    def test_non_matching_packets_untouched(self, linked_hosts):
+        pair = linked_hosts()
+        strategy = Strategy.parse("[TCP:flags:SA]-drop-| \\/")
+        engine = install_strategy(pair.client, strategy, random.Random(1))
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run(until=0.05)
+        assert engine.packets_intercepted == 0
+
+    def test_intercept_counter(self, linked_hosts):
+        pair = linked_hosts()
+        strategy = Strategy.parse("[TCP:flags:SA]-duplicate-| \\/")
+        engine = install_strategy(pair.server, strategy, random.Random(1))
+        pair.server.listen(80, lambda ep: None)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run(until=0.3)
+        assert engine.packets_intercepted >= 1
+
+    def test_inbound_strategy_applied(self, linked_hosts):
+        """An inbound drop on the client acts like a local firewall."""
+        pair = linked_hosts()
+        strategy = Strategy(inbound=Strategy.parse("[TCP:flags:SA]-drop-| \\/").outbound)
+        install_strategy(pair.client, strategy, random.Random(1))
+        pair.server.listen(80, lambda ep: None)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run(until=1.0)
+        assert not ep.established  # every SYN+ACK eaten on ingress
+
+    def test_engine_rng_determinism(self):
+        strategy = Strategy.parse("[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA", ack=7)
+        out_a = StrategyEngine(strategy, random.Random(42)).outbound_filter(packet.copy())
+        out_b = StrategyEngine(strategy, random.Random(42)).outbound_filter(packet.copy())
+        assert out_a[0].tcp.ack == out_b[0].tcp.ack

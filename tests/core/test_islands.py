@@ -1,0 +1,75 @@
+"""Tests for island-model evolution."""
+
+from repro.core.evolution import (
+    CensorTrialEvaluator,
+    GAConfig,
+    IslandConfig,
+    run_islands,
+)
+
+
+class TestIslands:
+    def test_returns_best_across_islands(self):
+        # Deterministic fitness: favour exactly-three-node strategies.
+        def evaluator(strategy):
+            return -abs(strategy.tree_size() - 3)
+
+        result = run_islands(
+            evaluator,
+            config=IslandConfig(
+                islands=3,
+                epochs=2,
+                generations_per_epoch=4,
+                base=GAConfig(population_size=8, seed=1),
+            ),
+        )
+        assert result.best_fitness == 0  # a three-node strategy exists
+        assert result.best.tree_size() == 3
+        assert result.generations_run >= 3 * 2  # all islands ran
+
+    def test_history_accumulates(self):
+        result = run_islands(
+            lambda s: 0.0,
+            config=IslandConfig(
+                islands=2, epochs=2, generations_per_epoch=3,
+                base=GAConfig(population_size=6, seed=2),
+            ),
+        )
+        assert len(result.history) >= 6
+        assert result.hall_of_fame
+
+    def test_discovers_kazakhstan_strategy(self):
+        evaluator = CensorTrialEvaluator("kazakhstan", "http", trials=2, seed=5)
+        result = run_islands(
+            evaluator,
+            config=IslandConfig(
+                islands=4,
+                epochs=3,
+                generations_per_epoch=8,
+                base=GAConfig(population_size=16, seed=2),
+            ),
+        )
+        assert result.best_fitness > 50
+        from repro.eval import run_trial
+
+        assert run_trial("kazakhstan", "http", result.best, seed=500).succeeded
+
+    def test_migration_spreads_champions(self):
+        """After one epoch the champion is injected into the neighbour's
+        population; fitness never regresses across epochs."""
+        evaluator = CensorTrialEvaluator("kazakhstan", "http", trials=1, seed=5)
+        one_epoch = run_islands(
+            evaluator,
+            config=IslandConfig(
+                islands=3, epochs=1, generations_per_epoch=5,
+                base=GAConfig(population_size=10, seed=7),
+            ),
+        )
+        three_epochs = run_islands(
+            evaluator,
+            config=IslandConfig(
+                islands=3, epochs=3, generations_per_epoch=5,
+                base=GAConfig(population_size=10, seed=7),
+            ),
+        )
+        assert three_epochs.best_fitness >= one_epoch.best_fitness

@@ -1,0 +1,70 @@
+"""Tests for post-discovery strategy minimization."""
+
+from repro.core import Strategy
+from repro.core.evolution import CensorTrialEvaluator, candidate_reductions, minimize
+
+
+def size_evaluator(strategy):
+    """Deterministic stand-in: anything with a null-flags tamper 'works'."""
+    works = "tamper{TCP:flags:replace:}" in str(strategy)
+    return 100.0 - strategy.tree_size() if works else -50.0
+
+
+class TestCandidates:
+    def test_tree_removal_candidates(self):
+        strategy = Strategy.parse("[TCP:flags:SA]-duplicate-| [TCP:flags:A]-drop-| \\/")
+        candidates = candidate_reductions(strategy)
+        assert any(len(c.outbound) == 1 for c in candidates)
+
+    def test_node_promotion_candidates(self):
+        strategy = Strategy.parse(
+            "[TCP:flags:SA]-tamper{TCP:flags:replace:R}(tamper{TCP:ack:corrupt},)-| \\/"
+        )
+        candidates = candidate_reductions(strategy)
+        texts = {str(c) for c in candidates}
+        assert "[TCP:flags:SA]-tamper{TCP:ack:corrupt}-| \\/" in texts
+
+    def test_no_duplicates_or_self(self):
+        strategy = Strategy.parse("[TCP:flags:SA]-duplicate-| \\/")
+        candidates = candidate_reductions(strategy)
+        texts = [str(c) for c in candidates]
+        assert str(strategy) not in texts
+        assert len(texts) == len(set(texts))
+
+
+class TestMinimize:
+    def test_preserves_working_core(self):
+        bloated = Strategy.parse(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:}"
+            "(tamper{TCP:urgptr:replace:7},),duplicate(,))-| \\/"
+        )
+        minimal, fitness = minimize(bloated, size_evaluator)
+        assert "tamper{TCP:flags:replace:}" in str(minimal)
+        assert minimal.tree_size() < bloated.tree_size()
+        assert fitness > 90
+
+    def test_recovers_canonical_strategy_11(self):
+        """Against the real Kazakhstan censor, a bloated null-flags
+        strategy minimizes to the paper's canonical form."""
+        bloated = Strategy.parse(
+            "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:}"
+            "(tamper{TCP:urgptr:replace:7},),duplicate(,))-|"
+            " [TCP:flags:A]-duplicate-| \\/"
+        )
+        evaluator = CensorTrialEvaluator("kazakhstan", "http", trials=3, seed=5)
+        minimal, fitness = minimize(bloated, evaluator)
+        assert str(minimal) == "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/"
+        assert fitness > 90
+
+    def test_already_minimal_unchanged(self):
+        minimal = Strategy.parse("[TCP:flags:SA]-tamper{TCP:flags:replace:}-| \\/")
+        result, _ = minimize(minimal, size_evaluator)
+        assert str(result) == str(minimal)
+
+    def test_broken_strategy_minimizes_to_cheapest_failure(self):
+        strategy = Strategy.parse(
+            "[TCP:flags:SA]-duplicate(drop,tamper{TCP:seq:corrupt})-| \\/"
+        )
+        result, fitness = minimize(strategy, size_evaluator)
+        assert fitness == -50.0
+        assert result.tree_size() <= strategy.tree_size()

@@ -1,0 +1,84 @@
+"""The strategy strings exactly as printed in the paper must parse.
+
+The paper typesets strategies across multiple lines with indentation;
+the parser must accept that whitespace verbatim.
+"""
+
+import pytest
+
+from repro.core import Strategy
+
+#: Verbatim strategy listings from §5 (line breaks as typeset).
+PAPER_LISTINGS = {
+    1: """[TCP:flags:SA]-
+duplicate(
+  tamper{TCP:flags:replace:R},
+  tamper{TCP:flags:replace:S})-| \\/""",
+    2: """[TCP:flags:SA]-
+tamper{TCP:flags:replace:S}(
+  duplicate(,
+    tamper{TCP:load:corrupt}),)-| \\/""",
+    3: """[TCP:flags:SA]-
+duplicate(
+  tamper{TCP:ack:corrupt},
+  tamper{TCP:flags:replace:S})-| \\/""",
+    4: """[TCP:flags:SA]-
+duplicate(
+  tamper{TCP:ack:corrupt},)-| \\/""",
+    5: """[TCP:flags:SA]-
+duplicate(
+  tamper{TCP:ack:corrupt},
+  tamper{TCP:load:corrupt})-| \\/""",
+    6: """[TCP:flags:SA]-
+duplicate(
+  duplicate(
+    tamper{TCP:flags:replace:F}(
+      tamper{TCP:load:corrupt},),
+    tamper{TCP:ack:corrupt}),)-| \\/""",
+    7: """[TCP:flags:SA]-
+duplicate(
+  duplicate(
+    tamper{TCP:flags:replace:R},
+    tamper{TCP:ack:corrupt}),)-|""",
+    8: """[TCP:flags:SA]-
+tamper{TCP:window:replace:10}(
+  tamper{TCP:options-wscale:replace:},)-|\\/""",
+    9: """[TCP:flags:SA]-
+tamper{TCP:load:corrupt}(
+  duplicate(
+    duplicate,),)-| \\/""",
+    10: """[TCP:flags:SA]-
+tamper{TCP:load:replace:GET / HTTP1.}(
+  duplicate,)-| \\/""",
+    11: """[TCP:flags:SA]-
+duplicate(
+  tamper{TCP:flags:replace:},)-| \\/""",
+}
+
+
+@pytest.mark.parametrize("number", sorted(PAPER_LISTINGS))
+def test_verbatim_listing_parses(number):
+    strategy = Strategy.parse(PAPER_LISTINGS[number])
+    assert len(strategy.outbound) == 1
+    assert str(strategy.outbound[0][0]) == "[TCP:flags:SA]"
+
+
+@pytest.mark.parametrize("number", sorted(PAPER_LISTINGS))
+def test_verbatim_equals_canonical(number):
+    """The typeset listing and the library's canonical string are the
+    same strategy."""
+    from repro.core import strategy as canonical
+
+    listing = Strategy.parse(PAPER_LISTINGS[number])
+    assert str(listing) == str(canonical(number))
+
+
+def test_appendix_example_trigger_semantics():
+    """Appendix: "TCP:flags:S does not match SYN+ACK packets"."""
+    from repro.core import Trigger
+    from repro.packets import make_tcp_packet
+
+    trigger = Trigger.parse("TCP:flags:S")
+    assert not trigger.matches(
+        make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA")
+    )

@@ -1,0 +1,139 @@
+"""Tests for the strategy DSL parser: all paper strategies must parse and
+round-trip."""
+
+import pytest
+
+from repro.core import (
+    SERVER_STRATEGIES,
+    DuplicateAction,
+    Strategy,
+    TamperAction,
+    Trigger,
+    parse_action,
+    parse_strategy,
+)
+
+
+class TestTriggers:
+    def test_parse(self):
+        trigger = Trigger.parse("TCP:flags:SA")
+        assert (trigger.protocol, trigger.field, trigger.value) == ("TCP", "flags", "SA")
+
+    def test_str_round_trip(self):
+        assert str(Trigger.parse("TCP:flags:SA")) == "[TCP:flags:SA]"
+
+    def test_exact_match_semantics(self):
+        from repro.packets import make_tcp_packet
+
+        trigger = Trigger("TCP", "flags", "S")
+        assert trigger.matches(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="S"))
+        assert not trigger.matches(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA"))
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Trigger.parse("TCP:flags")
+
+
+class TestActionParsing:
+    def test_paper_strategy_1_structure(self):
+        action = parse_action(
+            "duplicate(tamper{TCP:flags:replace:R},tamper{TCP:flags:replace:S})"
+        )
+        assert isinstance(action, DuplicateAction)
+        assert isinstance(action.first, TamperAction)
+        assert action.first.value == "R"
+        assert action.second.value == "S"
+
+    def test_empty_child_is_send(self):
+        action = parse_action("duplicate(tamper{TCP:ack:corrupt},)")
+        assert str(action.second) == "send"
+
+    def test_value_with_spaces_and_slash(self):
+        action = parse_action("tamper{TCP:load:replace:GET / HTTP1.}(duplicate,)")
+        assert action.value == "GET / HTTP1."
+
+    def test_empty_replace_value(self):
+        action = parse_action("tamper{TCP:flags:replace:}")
+        assert action.value == ""
+
+    def test_fragment_parsing(self):
+        action = parse_action("fragment{tcp:8:True}(,)")
+        assert action.offset == 8 and action.in_order
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            parse_action("explode")
+
+    def test_tamper_with_two_children_rejected(self):
+        with pytest.raises(ValueError):
+            parse_action("tamper{TCP:ack:corrupt}(send,send)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_action("send send")
+
+
+class TestStrategyParsing:
+    def test_outbound_inbound_split(self):
+        strategy = parse_strategy(
+            "[TCP:flags:SA]-duplicate-| \\/ [TCP:flags:A]-drop-|"
+        )
+        assert len(strategy.outbound) == 1
+        assert len(strategy.inbound) == 1
+        assert str(strategy.inbound[0][1]) == "drop"
+
+    def test_no_inbound_section(self):
+        strategy = parse_strategy("[TCP:flags:SA]-duplicate-|")
+        assert len(strategy.outbound) == 1
+        assert strategy.inbound == []
+
+    def test_empty_strategy(self):
+        strategy = parse_strategy(" \\/ ")
+        assert strategy.is_noop()
+
+    def test_multiple_outbound_trees(self):
+        strategy = parse_strategy(
+            "[TCP:flags:SA]-duplicate-| [TCP:flags:A]-drop-| \\/"
+        )
+        assert len(strategy.outbound) == 2
+
+    def test_all_eleven_paper_strategies_parse_and_round_trip(self):
+        for record in SERVER_STRATEGIES.values():
+            for text in (record.dsl, record.deployed_dsl, record.compat_dsl):
+                if text is None:
+                    continue
+                strategy = Strategy.parse(text)
+                assert not strategy.is_noop()
+                reparsed = Strategy.parse(str(strategy))
+                assert str(reparsed) == str(strategy)
+
+    def test_apply_unmatched_passes_through(self, rng):
+        from repro.packets import make_tcp_packet
+
+        strategy = Strategy.parse("[TCP:flags:SA]-drop-| \\/")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="S")
+        assert strategy.apply_outbound(packet, rng) == [packet]
+
+    def test_apply_matched_runs_tree(self, rng):
+        from repro.packets import make_tcp_packet
+
+        strategy = Strategy.parse("[TCP:flags:SA]-drop-| \\/")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA")
+        assert strategy.apply_outbound(packet, rng) == []
+
+    def test_apply_does_not_mutate_original(self, rng):
+        from repro.packets import make_tcp_packet
+
+        strategy = Strategy.parse("[TCP:flags:SA]-tamper{TCP:flags:replace:R}-| \\/")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA")
+        out = strategy.apply_outbound(packet, rng)
+        assert out[0].flags == "R"
+        assert packet.flags == "SA"
+
+    def test_copy_equality_and_hash(self):
+        strategy = Strategy.parse("[TCP:flags:SA]-duplicate-| \\/")
+        clone = strategy.copy()
+        assert clone == strategy
+        assert hash(clone) == hash(strategy)
+        clone.outbound.clear()
+        assert clone != strategy

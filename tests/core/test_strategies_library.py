@@ -1,0 +1,157 @@
+"""Tests for the canonical strategy library (the paper's 11 strategies)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CLIENT_SIDE_STRATEGIES,
+    NO_EVASION,
+    SERVER_STRATEGIES,
+    client_side_strategy,
+    compat_strategy,
+    deployed_strategy,
+    server_side_analogs,
+    strategy,
+)
+from repro.packets import make_tcp_packet
+
+
+@pytest.fixture
+def synack():
+    return make_tcp_packet(
+        "10.0.0.2", "10.0.0.1", 80, 4000, flags="SA", seq=1000, ack=2001,
+        options=[("mss", 1460), ("wscale", 7)],
+    )
+
+
+class TestLibrary:
+    def test_eleven_strategies(self):
+        assert sorted(SERVER_STRATEGIES) == list(range(1, 12))
+
+    def test_no_evasion_is_noop(self):
+        assert NO_EVASION.is_noop()
+
+    def test_countries_assignment(self):
+        for number in range(1, 8):
+            assert SERVER_STRATEGIES[number].countries == ("china",)
+        assert "india" in SERVER_STRATEGIES[8].countries
+        for number in (9, 10, 11):
+            assert SERVER_STRATEGIES[number].countries == ("kazakhstan",)
+
+    def test_simultaneous_open_flags(self):
+        assert SERVER_STRATEGIES[1].uses_simultaneous_open
+        assert SERVER_STRATEGIES[2].uses_simultaneous_open
+        assert SERVER_STRATEGIES[3].uses_simultaneous_open
+        assert not SERVER_STRATEGIES[4].uses_simultaneous_open
+
+    def test_synack_payload_flags(self):
+        assert {n for n, r in SERVER_STRATEGIES.items() if r.synack_payload} == {5, 9, 10}
+
+
+class TestWireEffects:
+    """Each strategy must emit exactly the paper's packet sequence."""
+
+    def apply(self, number, synack, deployed=False):
+        rng = random.Random(7)
+        s = deployed_strategy(number) if deployed else strategy(number)
+        return s.apply_outbound(synack, rng)
+
+    def test_strategy_1_rst_then_syn(self, synack):
+        out = self.apply(1, synack)
+        assert [p.flags for p in out] == ["R", "S"]
+        assert out[1].tcp.seq == 1000  # SYN keeps the SYN+ACK's seq
+
+    def test_strategy_2_syn_then_syn_with_load(self, synack):
+        out = self.apply(2, synack)
+        assert [p.flags for p in out] == ["S", "S"]
+        assert not out[0].load and out[1].load
+
+    def test_strategy_3_corrupt_ack_then_syn(self, synack):
+        out = self.apply(3, synack)
+        assert out[0].flags == "SA" and out[0].tcp.ack != 2001
+        assert out[1].flags == "S"
+
+    def test_strategy_4_corrupt_ack_then_original(self, synack):
+        out = self.apply(4, synack)
+        assert [p.flags for p in out] == ["SA", "SA"]
+        assert out[0].tcp.ack != 2001
+        assert out[1].tcp.ack == 2001
+
+    def test_strategy_5_corrupt_ack_then_load(self, synack):
+        out = self.apply(5, synack)
+        assert out[0].tcp.ack != 2001 and not out[0].load
+        assert out[1].tcp.ack == 2001 and out[1].load
+
+    def test_strategy_6_fin_load_corrupt_ack_original(self, synack):
+        out = self.apply(6, synack)
+        assert [p.flags for p in out] == ["F", "SA", "SA"]
+        assert out[0].load
+        assert out[1].tcp.ack != 2001
+        assert out[2].tcp.ack == 2001
+
+    def test_strategy_7_rst_corrupt_ack_original(self, synack):
+        out = self.apply(7, synack)
+        assert [p.flags for p in out] == ["R", "SA", "SA"]
+        assert out[1].tcp.ack != 2001
+        assert out[2].tcp.ack == 2001
+
+    def test_strategy_8_window_and_wscale(self, synack):
+        out = self.apply(8, synack)
+        assert len(out) == 1
+        assert out[0].tcp.window == 10
+        assert out[0].tcp.get_option("wscale") is None
+
+    def test_strategy_9_three_loads(self, synack):
+        out = self.apply(9, synack)
+        assert len(out) == 3
+        assert all(p.load for p in out)
+        assert len({bytes(p.load) for p in out}) == 1
+
+    def test_strategy_10_double_get(self, synack):
+        out = self.apply(10, synack)
+        assert len(out) == 2
+        assert all(bytes(p.load) == b"GET / HTTP1." for p in out)
+
+    def test_strategy_11_null_flags_then_original(self, synack):
+        out = self.apply(11, synack)
+        assert [p.flags for p in out] == ["", "SA"]
+
+    def test_compat_variants_use_bad_checksums(self, synack):
+        for number in (5, 9, 10):
+            out = compat_strategy(number).apply_outbound(synack.copy(), random.Random(3))
+            payload_packets = [p for p in out if p.load]
+            assert payload_packets, f"strategy {number} compat lost its payloads"
+            assert all(not p.checksums_ok() for p in payload_packets)
+            # The original, valid SYN+ACK is still sent.
+            clean = [p for p in out if p.flags == "SA" and not p.load]
+            assert any(p.checksums_ok() for p in clean)
+
+
+class TestClientSideCorpus:
+    def test_corpus_nonempty(self):
+        assert len(CLIENT_SIDE_STRATEGIES) == 8
+
+    def test_each_has_two_analogs(self):
+        for name in CLIENT_SIDE_STRATEGIES:
+            analogs = server_side_analogs(name)
+            assert len(analogs) == 2
+            assert analogs[0].name.endswith("server-before")
+            assert analogs[1].name.endswith("server-after")
+
+    def test_ttl_strategy_limits_ttl(self):
+        s = client_side_strategy("teardown-r-ttl-on-a")
+        packet = make_tcp_packet("10.0.0.1", "10.0.0.2", 4000, 80, flags="A", ttl=64)
+        out = s.apply_outbound(packet, random.Random(1))
+        assert len(out) == 2
+        assert out[0].flags == "R" and out[0].ip.ttl == 5
+        assert out[1].flags == "A" and out[1].ip.ttl == 64
+
+    def test_chksum_strategy_corrupts_checksum(self):
+        s = client_side_strategy("teardown-ra-chksum-on-pa")
+        packet = make_tcp_packet(
+            "10.0.0.1", "10.0.0.2", 4000, 80, flags="PA", load=b"GET"
+        )
+        out = s.apply_outbound(packet, random.Random(1))
+        assert out[0].flags == "RA" and not out[0].checksums_ok()
+        assert out[1].checksums_ok()

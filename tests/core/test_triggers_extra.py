@@ -1,0 +1,62 @@
+"""Extra trigger coverage: IP fields, UDP fields, missing layers."""
+
+import random
+
+from repro.core import Strategy, Trigger
+from repro.packets import make_tcp_packet, make_udp_packet
+
+
+class TestIPTriggers:
+    def test_ttl_trigger_exact_match(self):
+        trigger = Trigger.parse("IP:ttl:64")
+        assert trigger.matches(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, ttl=64))
+        assert not trigger.matches(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, ttl=63))
+
+    def test_src_trigger(self):
+        trigger = Trigger.parse("IP:src:10.0.0.1")
+        assert trigger.matches(make_tcp_packet("10.0.0.1", "2.2.2.2", 1, 2))
+        assert not trigger.matches(make_tcp_packet("10.0.0.9", "2.2.2.2", 1, 2))
+
+    def test_ip_trigger_strategy_applies(self, rng):
+        strategy = Strategy.parse("[IP:ttl:64]-tamper{IP:ttl:replace:5}-| \\/")
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, ttl=64)
+        out = strategy.apply_outbound(packet, rng)
+        assert out[0].ip.ttl == 5
+
+
+class TestUDPTriggers:
+    def test_udp_dport_trigger(self):
+        trigger = Trigger.parse("UDP:dport:53")
+        assert trigger.matches(make_udp_packet("1.1.1.1", "2.2.2.2", 40000, 53))
+        assert not trigger.matches(make_udp_packet("1.1.1.1", "2.2.2.2", 40000, 5353))
+
+    def test_tcp_trigger_never_matches_udp_packet(self):
+        trigger = Trigger.parse("TCP:flags:SA")
+        assert not trigger.matches(make_udp_packet("1.1.1.1", "2.2.2.2", 1, 53))
+
+    def test_udp_trigger_never_matches_tcp_packet(self):
+        trigger = Trigger.parse("UDP:dport:53")
+        assert not trigger.matches(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 53))
+
+    def test_udp_strategy_tamper(self, rng):
+        strategy = Strategy.parse("[UDP:dport:53]-tamper{UDP:load:corrupt}-| \\/")
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 40000, 53, load=b"query")
+        out = strategy.apply_outbound(packet, rng)
+        assert out[0].load != b"query"
+        assert len(out[0].load) == 5
+
+
+class TestMixedForests:
+    def test_first_matching_tree_wins(self, rng):
+        strategy = Strategy.parse(
+            "[TCP:flags:SA]-drop-| [TCP:flags:SA]-duplicate-| \\/"
+        )
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA")
+        assert strategy.apply_outbound(packet, rng) == []
+
+    def test_non_matching_tree_skipped(self, rng):
+        strategy = Strategy.parse(
+            "[TCP:flags:S]-drop-| [TCP:flags:SA]-duplicate-| \\/"
+        )
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA")
+        assert len(strategy.apply_outbound(packet, rng)) == 2

@@ -1,0 +1,125 @@
+"""Tests for the Table 2 -> box profile inversion.
+
+The key property: inverting the paper's Table 2 recovers (within the
+rounding noise of the published percentages) the very profiles the censor
+models ship with — the calibration is a derivation, not hand-tuning.
+"""
+
+import pytest
+
+from repro.censors import CHINA_PROFILES
+from repro.censors.gfw.profiles import (
+    EVENT_CORRUPT_ACK,
+    EVENT_PAYLOAD_OTHER,
+    EVENT_PAYLOAD_SYN,
+    EVENT_RST,
+    EVENT_SYN,
+    EVENT_SYNACK_PAYLOAD,
+)
+from repro.eval.calibration import calibrate_box, invert_rate, per_try_rate
+from repro.eval.reference import TABLE2_CHINA
+
+
+def paper_column(protocol):
+    return {number: TABLE2_CHINA[number][protocol] / 100 for number in range(0, 9)}
+
+
+class TestHelpers:
+    def test_per_try_rate_identity(self):
+        assert per_try_rate(0.5, 1) == 0.5
+
+    def test_per_try_rate_inverts_retries(self):
+        assert per_try_rate(0.875, 3) == pytest.approx(0.5)
+
+    def test_per_try_validation(self):
+        with pytest.raises(ValueError):
+            per_try_rate(1.5)
+        with pytest.raises(ValueError):
+            per_try_rate(0.5, 0)
+
+    def test_invert_rate(self):
+        assert invert_rate(0.54, 0.03) == pytest.approx((0.54 - 0.03) / 0.97)
+        assert invert_rate(0.01, 0.03) == 0.0  # clamped
+        assert invert_rate(0.5, 1.0) == 0.0
+
+
+class TestRecoverShippedProfiles:
+    """Inverting the paper's numbers reproduces the shipped constants."""
+
+    @pytest.mark.parametrize(
+        "protocol,tries", [("ftp", 1), ("http", 1), ("smtp", 1), ("dns", 3)]
+    )
+    def test_miss_prob(self, protocol, tries):
+        inferred = calibrate_box(protocol, paper_column(protocol), tries)
+        assert inferred.miss_prob == pytest.approx(
+            CHINA_PROFILES[protocol].miss_prob, abs=0.02
+        )
+
+    @pytest.mark.parametrize(
+        "protocol,tries,tolerance",
+        [("ftp", 1, 0.06), ("http", 1, 0.06), ("smtp", 1, 0.1), ("dns", 3, 0.08)],
+    )
+    def test_primary_event_probs(self, protocol, tries, tolerance):
+        inferred = calibrate_box(protocol, paper_column(protocol), tries)
+        shipped = CHINA_PROFILES[protocol].event_probs
+        for event in (EVENT_RST, EVENT_PAYLOAD_SYN, EVENT_PAYLOAD_OTHER):
+            assert inferred.event_probs[event] == pytest.approx(
+                shipped.get(event, 0.0), abs=tolerance
+            ), (protocol, event)
+
+    def test_ftp_corrupt_ack_rule(self):
+        inferred = calibrate_box("ftp", paper_column("ftp"))
+        assert inferred.event_probs[EVENT_CORRUPT_ACK] == pytest.approx(0.31, abs=0.03)
+
+    def test_ftp_combos(self):
+        inferred = calibrate_box("ftp", paper_column("ftp"))
+        shipped = CHINA_PROFILES["ftp"].combo_probs
+        assert inferred.combo_probs[(EVENT_CORRUPT_ACK, EVENT_SYN)] == pytest.approx(
+            shipped[(EVENT_CORRUPT_ACK, EVENT_SYN)], abs=0.06
+        )
+        assert inferred.combo_probs[
+            (EVENT_CORRUPT_ACK, EVENT_SYNACK_PAYLOAD)
+        ] == pytest.approx(shipped[(EVENT_CORRUPT_ACK, EVENT_SYNACK_PAYLOAD)], abs=0.05)
+        assert inferred.combo_probs[(EVENT_RST, EVENT_CORRUPT_ACK)] == pytest.approx(
+            shipped[(EVENT_RST, EVENT_CORRUPT_ACK)], abs=0.12
+        )
+
+    def test_reassembly_failure(self):
+        assert calibrate_box("ftp", paper_column("ftp")).reassembly_fail_prob == pytest.approx(
+            CHINA_PROFILES["ftp"].reassembly_fail_prob, abs=0.03
+        )
+        assert calibrate_box("smtp", paper_column("smtp")).reassembly_fail_prob == 1.0
+        assert calibrate_box("http", paper_column("http")).reassembly_fail_prob <= 0.02
+
+    def test_https_has_no_rst_rule(self):
+        inferred = calibrate_box("https", paper_column("https"))
+        # Strategy 7 sits at baseline -> no RST resync for HTTPS (rule 2).
+        assert inferred.event_probs[EVENT_RST] <= 0.12
+        # But the payload rules are alive and ~50%.
+        assert 0.4 <= inferred.event_probs[EVENT_PAYLOAD_SYN] <= 0.65
+
+
+class TestRoundTripWithMeasuredTable:
+    def test_calibrating_from_a_measured_column_is_stable(self):
+        """Measure a column from the simulator, invert it, and land near
+        the profile that generated it (closing the loop)."""
+        from repro.core import deployed_strategy
+        from repro.eval import success_rate
+
+        column = {}
+        for number in range(0, 9):
+            strategy = None if number == 0 else deployed_strategy(number)
+            column[number] = success_rate(
+                "china", "ftp", strategy, trials=120, seed=number * 37 + 5
+            )
+        inferred = calibrate_box("ftp", column)
+        shipped = CHINA_PROFILES["ftp"]
+        assert inferred.event_probs[EVENT_RST] == pytest.approx(
+            shipped.event_probs[EVENT_RST], abs=0.12
+        )
+        assert inferred.event_probs[EVENT_CORRUPT_ACK] == pytest.approx(
+            shipped.event_probs[EVENT_CORRUPT_ACK], abs=0.12
+        )
+        assert inferred.reassembly_fail_prob == pytest.approx(
+            shipped.reassembly_fail_prob, abs=0.12
+        )

@@ -1,0 +1,120 @@
+"""Golden-trace regression tests.
+
+Each paper strategy's on-wire packet sequence for a fixed seed is pinned
+as a golden flag sequence: any change to the packet model, TCP stack,
+engine, or censor that alters the wire behaviour trips these tests. The
+goldens encode the paper's Figure 1/2 packet patterns.
+"""
+
+import pytest
+
+from repro.core import deployed_strategy
+from repro.eval import run_trial
+
+
+def wire_flags(result, location):
+    """Flag sequence of packets sent by one endpoint."""
+    return [
+        event.packet.flags
+        for event in result.trace.events
+        if event.kind == "send" and event.location == location and event.packet
+    ]
+
+
+class TestChinaGoldens:
+    def test_strategy_1_wire_sequence(self):
+        result = run_trial("china", "http", deployed_strategy(1), seed=3)
+        assert result.succeeded
+        # Server: RST+SYN replace the SYN+ACK, then the handshake ACK,
+        # then response data and teardown.
+        server = wire_flags(result, "server")
+        assert server[:3] == ["R", "S", "A"]
+        # Client: SYN, sim-open SYN/ACK, request, ACKs.
+        client = wire_flags(result, "client")
+        assert client[0] == "S"
+        assert client[1] == "SA"
+        assert "PA" in client
+
+    def test_strategy_6_wire_sequence(self):
+        result = run_trial("china", "http", deployed_strategy(6), seed=23)
+        server = wire_flags(result, "server")
+        assert server[:3] == ["F", "SA", "SA"]
+        client = wire_flags(result, "client")
+        # Induced RST (from the corrupted ack) then the handshake ACK.
+        assert client[0] == "S"
+        assert "R" in client[1:3]
+
+    def test_strategy_7_wire_sequence(self):
+        result = run_trial("china", "http", deployed_strategy(7), seed=23)
+        server = wire_flags(result, "server")
+        assert server[:3] == ["R", "SA", "SA"]
+
+    def test_strategy_8_segments(self):
+        result = run_trial("china", "smtp", deployed_strategy(8), seed=1)
+        assert result.succeeded
+        client_loads = [
+            len(event.packet.load)
+            for event in result.trace.events
+            if event.kind == "send"
+            and event.location == "client"
+            and event.packet.load
+        ]
+        assert client_loads and max(client_loads) <= 10
+
+    def test_no_evasion_censorship_artifacts(self):
+        result = run_trial("china", "http", None, seed=42)
+        assert not result.succeeded
+        injected = [
+            event.packet.flags
+            for event in result.trace.events
+            if event.kind == "inject"
+        ]
+        assert injected == ["RA", "RA"]  # teardown RSTs to both ends
+
+
+class TestKazakhstanGoldens:
+    def test_strategy_9_wire_sequence(self):
+        result = run_trial("kazakhstan", "http", deployed_strategy(9), seed=3)
+        server = wire_flags(result, "server")
+        assert server[:3] == ["SA", "SA", "SA"]
+        client = wire_flags(result, "client")
+        # Figure 2: the client answers the duplicate SYN+ACKs with ACKs
+        # (the request may interleave with the challenge ACKs).
+        assert client[:2] == ["S", "A"]
+        assert client[:6].count("A") >= 3
+
+    def test_strategy_11_wire_sequence(self):
+        result = run_trial("kazakhstan", "http", deployed_strategy(11), seed=3)
+        server = wire_flags(result, "server")
+        assert server[0] == ""  # the null-flags packet
+        assert server[1] == "SA"
+
+    def test_blockpage_golden(self):
+        result = run_trial("kazakhstan", "http", None, seed=3)
+        injected = [
+            event.packet
+            for event in result.trace.events
+            if event.kind == "inject"
+        ]
+        assert len(injected) == 1
+        assert injected[0].flags == "FPA"
+        assert b"blocked" in injected[0].load
+
+
+class TestDeterminismGolden:
+    @pytest.mark.parametrize("number", [1, 2, 6, 7, 8, 9, 10, 11])
+    def test_trace_bit_for_bit_reproducible(self, number):
+        country = "kazakhstan" if number in (9, 10, 11) else "china"
+        a = run_trial(country, "http", deployed_strategy(number), seed=7)
+        b = run_trial(country, "http", deployed_strategy(number), seed=7)
+        wire_a = [
+            (e.kind, e.location, e.packet.serialize())
+            for e in a.trace.events
+            if e.packet is not None
+        ]
+        wire_b = [
+            (e.kind, e.location, e.packet.serialize())
+            for e in b.trace.events
+            if e.packet is not None
+        ]
+        assert wire_a == wire_b

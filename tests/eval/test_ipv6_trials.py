@@ -1,0 +1,49 @@
+"""Tests for IPv6 evaluation trials (the censors are family-agnostic)."""
+
+import pytest
+
+from repro.core import deployed_strategy
+from repro.eval import run_trial
+
+
+class TestV6Trials:
+    def test_invalid_ip_version_rejected(self):
+        with pytest.raises(ValueError):
+            run_trial("china", "http", None, seed=1, ip_version=5)
+
+    def test_china_censors_over_v6(self):
+        result = run_trial("china", "http", None, seed=1, ip_version=6)
+        assert not result.succeeded
+        assert result.censored
+
+    def test_strategy_1_works_over_v6(self):
+        wins = sum(
+            run_trial(
+                "china", "http", deployed_strategy(1), seed=30 + i, ip_version=6
+            ).succeeded
+            for i in range(20)
+        )
+        assert wins >= 5  # the ~50% strategy, unchanged by the family
+
+    def test_kazakhstan_over_v6(self):
+        censored = run_trial("kazakhstan", "http", None, seed=1, ip_version=6)
+        assert censored.outcome == "blockpage"
+        evaded = run_trial(
+            "kazakhstan", "http", deployed_strategy(11), seed=1, ip_version=6
+        )
+        assert evaded.succeeded
+
+    def test_v6_packets_on_the_wire(self):
+        from repro.packets.ipv6 import IPv6
+
+        result = run_trial("china", "http", None, seed=1, ip_version=6)
+        sends = [e.packet for e in result.trace.events if e.kind == "send"]
+        assert sends
+        assert all(isinstance(p.ip, IPv6) for p in sends)
+
+    def test_benign_v6_exchange(self):
+        result = run_trial(
+            "china", "http", None, seed=1, ip_version=6,
+            workload={"path": "/", "host_header": "benign.example.com"},
+        )
+        assert result.succeeded

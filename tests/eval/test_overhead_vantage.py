@@ -1,0 +1,54 @@
+"""Unit tests for the overhead and vantage experiment drivers."""
+
+from repro.eval.overhead import format_overhead, measure_overhead
+from repro.eval.vantage import (
+    VANTAGE_POINTS,
+    VantagePoint,
+    format_vantages,
+    measure_across_vantages,
+)
+
+
+class TestOverhead:
+    def test_strategy_1_two_extra_packets(self):
+        report = measure_overhead(1, protocol="http", seed=1)
+        # One SYN+ACK becomes RST+SYN, plus the sim-open completion ACK.
+        assert report.extra_packets == 2
+        assert report.extra_bytes > 0
+
+    def test_strategy_11_one_extra_packet(self):
+        report = measure_overhead(11, protocol="http", seed=1)
+        assert report.extra_packets == 1
+
+    def test_baseline_consistency(self):
+        a = measure_overhead(1, protocol="http", seed=1)
+        b = measure_overhead(11, protocol="http", seed=1)
+        assert a.baseline_packets == b.baseline_packets
+        assert a.baseline_bytes == b.baseline_bytes
+
+    def test_format(self):
+        reports = {1: measure_overhead(1, seed=1)}
+        text = format_overhead(reports)
+        assert "extra packets" in text and "1" in text
+
+
+class TestVantage:
+    def test_default_vantage_points(self):
+        assert len(VANTAGE_POINTS) == 4
+        names = {v.name for v in VANTAGE_POINTS}
+        assert "beijing->us" in names
+
+    def test_custom_vantage(self):
+        custom = (
+            VantagePoint("a", censor_hop=2, server_hop=6),
+            VantagePoint("b", censor_hop=3, server_hop=9),
+        )
+        rates = measure_across_vantages(
+            strategy_number=11, protocol="http", country="kazakhstan",
+            trials=4, vantages=custom,
+        )
+        assert rates == {"a": 1.0, "b": 1.0}
+
+    def test_format(self):
+        text = format_vantages({"x": 0.5, "y": 0.52})
+        assert "spread" in text and "x" in text

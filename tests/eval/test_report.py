@@ -1,0 +1,39 @@
+"""Tests for the one-shot reproduction driver."""
+
+import pytest
+
+from repro.eval.report import EXPERIMENTS, reproduce_all
+
+
+class TestReproduceAll:
+    def test_known_experiments(self):
+        assert {"table1", "table2", "figure1", "figure2", "figure3"} <= set(EXPERIMENTS)
+
+    def test_writes_selected_artifacts(self, tmp_path):
+        written = reproduce_all(
+            str(tmp_path), trials=10, only=["table1", "figure2"], echo=lambda s: None
+        )
+        assert len(written) == 2
+        table1 = (tmp_path / "table1.txt").read_text()
+        assert "china" in table1
+        figure2 = (tmp_path / "figure2.txt").read_text()
+        assert "Strategy 9" in figure2 and "outcome: success" in figure2
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            reproduce_all(str(tmp_path), only=["table99"], echo=lambda s: None)
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        reproduce_all(str(target), trials=5, only=["figure2"], echo=lambda s: None)
+        assert (target / "figure2.txt").exists()
+
+    def test_cli_reproduce(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "reproduce", "--out", str(tmp_path), "--trials", "5",
+            "--only", "figure2",
+        ])
+        assert code == 0
+        assert "wrote 1 artifacts" in capsys.readouterr().out

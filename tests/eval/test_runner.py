@@ -1,0 +1,85 @@
+"""Tests for the trial runner."""
+
+import pytest
+
+from repro.core import deployed_strategy
+from repro.eval import (
+    COUNTRY_PROTOCOLS,
+    Trial,
+    benign_workload,
+    censored_workload,
+    default_port,
+    run_trial,
+    success_rate,
+)
+
+
+class TestConfiguration:
+    def test_country_protocol_table(self):
+        assert COUNTRY_PROTOCOLS["china"] == ["dns", "ftp", "http", "https", "smtp"]
+        assert COUNTRY_PROTOCOLS["india"] == ["http"]
+        assert COUNTRY_PROTOCOLS["iran"] == ["http", "https"]
+        assert COUNTRY_PROTOCOLS["kazakhstan"] == ["http"]
+
+    def test_default_ports(self):
+        assert default_port("http") == 80
+        assert default_port("dns") == 53
+
+    def test_workloads_available(self):
+        for country, protocols in COUNTRY_PROTOCOLS.items():
+            for protocol in protocols:
+                assert censored_workload(country, protocol)
+        for protocol in ("http", "https", "dns", "ftp", "smtp"):
+            assert benign_workload(protocol)
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(ValueError):
+            run_trial("atlantis", "http", None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        a = run_trial("china", "http", deployed_strategy(1), seed=5)
+        b = run_trial("china", "http", deployed_strategy(1), seed=5)
+        assert a.outcome == b.outcome
+        assert len(a.trace) == len(b.trace)
+
+    def test_different_seeds_vary(self):
+        outcomes = {
+            run_trial("china", "http", deployed_strategy(1), seed=s).outcome
+            for s in range(12)
+        }
+        assert len(outcomes) > 1  # ~50% strategy: both outcomes appear
+
+    def test_success_rate_bounds(self):
+        rate = success_rate("kazakhstan", "http", deployed_strategy(11), trials=5)
+        assert rate == 1.0
+        rate = success_rate("kazakhstan", "http", None, trials=5)
+        assert rate == 0.0
+
+
+class TestTrialAnatomy:
+    def test_no_censor_mode(self):
+        result = run_trial(None, "http", None, seed=1)
+        assert result.succeeded
+        assert not result.censored
+
+    def test_trace_attached(self):
+        result = run_trial("china", "http", None, seed=1)
+        assert result.trace is not None
+        assert result.trace.filter(kind="censor")
+
+    def test_censor_exposed_on_trial(self):
+        trial = Trial("china", "http", None, seed=1)
+        trial.run()
+        assert trial.censor.censorship_events == 1
+
+    def test_client_os_selectable(self):
+        trial = Trial(None, "http", None, seed=1, client_os="windows-10-enterprise-17134")
+        assert trial.client_host.personality.family == "windows"
+
+    def test_topology_hop_counts(self):
+        trial = Trial("china", "http", None, seed=1)
+        # censor at index 2 (hop 3), server at hop 10.
+        assert trial.network.middleboxes[2] is trial.censor
+        assert len(trial.network.middleboxes) == 9

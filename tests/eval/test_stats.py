@@ -1,0 +1,80 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.stats import (
+    Proportion,
+    rates_consistent,
+    two_proportion_z,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_known_value(self):
+        # 50/100 at 95%: Wilson interval ≈ (0.4038, 0.5962).
+        low, high = wilson_interval(50, 100)
+        assert low == pytest.approx(0.4038, abs=0.001)
+        assert high == pytest.approx(0.5962, abs=0.001)
+
+    def test_zero_successes_positive_upper(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert 0 < high < 0.25
+
+    def test_all_successes(self):
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+        assert 0.75 < low < 1.0
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    def test_interval_contains_estimate(self, successes, trials):
+        successes = min(successes, trials)
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+    @given(st.integers(1, 50))
+    def test_interval_shrinks_with_samples(self, successes):
+        low_small, high_small = wilson_interval(successes, 50)
+        low_big, high_big = wilson_interval(successes * 10, 500)
+        assert (high_big - low_big) < (high_small - low_small)
+
+
+class TestProportion:
+    def test_rate_and_str(self):
+        p = Proportion(54, 100)
+        assert p.rate == 0.54
+        assert "54.0%" in str(p)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Proportion(5, 0)
+        with pytest.raises(ValueError):
+            Proportion(11, 10)
+
+
+class TestZTest:
+    def test_identical_rates_z_zero(self):
+        a = Proportion(50, 100)
+        b = Proportion(500, 1000)
+        assert two_proportion_z(a, b) == pytest.approx(0.0)
+
+    def test_clearly_different_rates(self):
+        a = Proportion(90, 100)
+        b = Proportion(10, 100)
+        assert abs(two_proportion_z(a, b)) > 5
+
+    def test_degenerate_pool(self):
+        assert two_proportion_z(Proportion(0, 10), Proportion(0, 10)) == 0.0
+
+    def test_rates_consistent_accepts_close(self):
+        assert rates_consistent(Proportion(104, 200), 54)
+
+    def test_rates_consistent_rejects_far(self):
+        assert not rates_consistent(Proportion(30, 200), 54)

@@ -1,0 +1,89 @@
+"""Unit tests for the waterfall renderer itself."""
+
+from repro.eval.waterfall import packet_label, render_waterfall
+from repro.netsim import Trace
+from repro.packets import make_tcp_packet, make_udp_packet
+
+
+class TestPacketLabel:
+    def test_basic_flag_names(self):
+        cases = {
+            "S": "SYN",
+            "SA": "SYN/ACK",
+            "A": "ACK",
+            "PA": "PSH/ACK",
+            "FA": "FIN/ACK",
+            "R": "RST",
+            "": "(no flags)",
+        }
+        for flags, expected in cases.items():
+            packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags=flags)
+            assert packet_label(packet, None) == expected
+
+    def test_load_annotation(self):
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="PA", load=b"\x01\x02")
+        assert "w/ load" in packet_label(packet, None)
+
+    def test_get_load_annotation(self):
+        packet = make_tcp_packet(
+            "1.1.1.1", "2.2.2.2", 1, 2, flags="SA", load=b"GET / HTTP1."
+        )
+        assert "w/ GET load" in packet_label(packet, None)
+
+    def test_bad_ackno_server_only(self):
+        packet = make_tcp_packet(
+            "1.1.1.1", "2.2.2.2", 1, 2, flags="SA", ack=999
+        )
+        assert "bad ackno" in packet_label(packet, client_isn=100, from_server=True)
+        assert "bad ackno" not in packet_label(packet, client_isn=100, from_server=False)
+
+    def test_small_window_annotation(self):
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA", window=10, ack=101)
+        assert "small window" in packet_label(packet, client_isn=100)
+
+    def test_bad_checksum_annotation(self):
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, flags="SA", ack=101)
+        packet.tcp.chksum_override = 0xBAD
+        assert "bad chksum" in packet_label(packet, client_isn=100)
+
+    def test_udp_label(self):
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 53, load=b"abc")
+        assert packet_label(packet, None) == "UDP (3B)"
+
+
+class TestRenderWaterfall:
+    def build_trace(self):
+        trace = Trace()
+        syn = make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 80, flags="S", seq=100)
+        synack = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, 1, flags="SA", seq=200, ack=101)
+        rst = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, 1, flags="RA", seq=201, ack=101)
+        trace.record(0.0, "send", "client", syn)
+        trace.record(0.1, "send", "server", synack)
+        trace.record(0.2, "inject", "gfw", rst, "toward client")
+        trace.record(0.2, "censor", "gfw", syn, "http keyword")
+        return trace
+
+    def test_render_structure(self):
+        text = render_waterfall(self.build_trace(), title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Client" in lines[1] and "Server" in lines[1]
+        assert any("SYN" in line and "--->" in line for line in lines)
+        assert any("SYN/ACK" in line and "<---" in line for line in lines)
+
+    def test_injected_packets_marked(self):
+        text = render_waterfall(self.build_trace())
+        assert "RST/ACK *" in text
+        assert "[gfw]" in text
+
+    def test_censor_action_line(self):
+        text = render_waterfall(self.build_trace())
+        assert "!! censor action: http keyword" in text
+
+    def test_client_isn_learned_from_first_syn(self):
+        trace = Trace()
+        syn = make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 80, flags="S", seq=100)
+        bad = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, 1, flags="SA", seq=200, ack=999)
+        trace.record(0.0, "send", "client", syn)
+        trace.record(0.1, "send", "server", bad)
+        assert "bad ackno" in render_waterfall(trace)

@@ -1,0 +1,96 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.netsim import Scheduler
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.schedule(2.0, lambda: order.append("b"))
+        sched.schedule(1.0, lambda: order.append("a"))
+        sched.schedule(3.0, lambda: order.append("c"))
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_same_instant(self):
+        sched = Scheduler()
+        order = []
+        for i in range(10):
+            sched.schedule(1.0, lambda i=i: order.append(i))
+        sched.run()
+        assert order == list(range(10))
+
+    def test_clock_advances(self):
+        sched = Scheduler()
+        times = []
+        sched.schedule(0.5, lambda: times.append(sched.now))
+        sched.schedule(1.5, lambda: times.append(sched.now))
+        sched.run()
+        assert times == [0.5, 1.5]
+
+    def test_until_bound(self):
+        sched = Scheduler()
+        ran = []
+        sched.schedule(1.0, lambda: ran.append(1))
+        sched.schedule(5.0, lambda: ran.append(5))
+        sched.run(until=2.0)
+        assert ran == [1]
+        assert sched.now == 2.0
+        sched.run()
+        assert ran == [1, 5]
+
+    def test_nested_scheduling(self):
+        sched = Scheduler()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sched.schedule(1.0, lambda: seen.append("second"))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert seen == ["first", "second"]
+        assert sched.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().schedule(-1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_timer_does_not_fire(self):
+        sched = Scheduler()
+        ran = []
+        timer = sched.schedule(1.0, lambda: ran.append(1))
+        timer.cancel()
+        sched.run()
+        assert ran == []
+
+    def test_cancel_mid_run(self):
+        sched = Scheduler()
+        ran = []
+        later = sched.schedule(2.0, lambda: ran.append("later"))
+        sched.schedule(1.0, lambda: later.cancel())
+        sched.run()
+        assert ran == []
+
+
+class TestSafety:
+    def test_max_events_bounds_runaway(self):
+        sched = Scheduler()
+
+        def loop():
+            sched.schedule(0.1, loop)
+
+        sched.schedule(0.1, loop)
+        executed = sched.run(max_events=50)
+        assert executed == 50
+
+    def test_pending_counts_queue(self):
+        sched = Scheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        assert sched.pending() == 2

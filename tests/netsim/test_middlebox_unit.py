@@ -1,0 +1,127 @@
+"""Unit tests for the middlebox interface and PathContext."""
+
+from repro.netsim import (
+    DIRECTION_C2S,
+    Middlebox,
+    Network,
+    Scheduler,
+    TransparentTap,
+)
+from repro.packets import make_tcp_packet
+
+
+class Sink:
+    def __init__(self, name, ip):
+        self.name = name
+        self.ip = ip
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestBaseMiddlebox:
+    def test_default_forwards_everything(self):
+        box = Middlebox()
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+        assert box.process(packet, DIRECTION_C2S, None) == [packet]
+
+    def test_reset_is_noop(self):
+        Middlebox().reset()  # must not raise
+
+    def test_tap_reset_clears(self):
+        tap = TransparentTap()
+        tap.process(make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2), DIRECTION_C2S, None)
+        assert tap.seen
+        tap.reset()
+        assert tap.seen == []
+
+    def test_tap_records_copies(self):
+        tap = TransparentTap()
+        packet = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, seq=5)
+        tap.process(packet, DIRECTION_C2S, None)
+        packet.tcp.seq = 99
+        assert tap.seen[0].tcp.seq == 5
+
+
+class TestPathContext:
+    def build(self, box):
+        sched = Scheduler()
+        client = Sink("client", "10.0.0.1")
+        server = Sink("server", "10.0.0.2")
+        net = Network(sched, client, server, [box])
+        return sched, client, server, net
+
+    def test_now_tracks_scheduler(self):
+        times = []
+
+        class Clock(Middlebox):
+            def process(self, packet, direction, ctx):
+                times.append(ctx.now)
+                return [packet]
+
+        sched, client, server, net = self.build(Clock())
+        net.send_from(client, make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2))
+        sched.run()
+        assert times and times[0] > 0
+
+    def test_schedule_from_middlebox(self):
+        fired = []
+
+        class Delayer(Middlebox):
+            def process(self, packet, direction, ctx):
+                ctx.schedule(1.0, lambda: fired.append(ctx.now))
+                return [packet]
+
+        sched, client, server, net = self.build(Delayer())
+        net.send_from(client, make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2))
+        sched.run()
+        assert len(fired) == 1
+
+    def test_inject_records_trace_event(self):
+        class Injector(Middlebox):
+            name = "inj"
+
+            def process(self, packet, direction, ctx):
+                if direction == DIRECTION_C2S:
+                    ctx.inject(
+                        make_tcp_packet("10.0.0.2", "10.0.0.1", 2, 1, flags="RA"),
+                        toward="client",
+                    )
+                return [packet]
+
+        sched, client, server, net = self.build(Injector())
+        net.send_from(client, make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2))
+        sched.run()
+        injects = net.trace.filter(kind="inject")
+        assert len(injects) == 1
+        assert injects[0].location == "inj"
+        assert "toward client" in injects[0].detail
+
+    def test_inject_invalid_direction_rejected(self):
+        import pytest
+
+        class BadInjector(Middlebox):
+            def process(self, packet, direction, ctx):
+                ctx.inject(packet, toward="sideways")
+                return [packet]
+
+        sched, client, server, net = self.build(BadInjector())
+        net.send_from(client, make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2))
+        with pytest.raises(ValueError):
+            sched.run()
+
+    def test_record_custom_event(self):
+        class Recorder(Middlebox):
+            name = "rec"
+
+            def process(self, packet, direction, ctx):
+                ctx.record("censor", packet, "custom detail")
+                return [packet]
+
+        sched, client, server, net = self.build(Recorder())
+        net.send_from(client, make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2))
+        sched.run()
+        events = net.trace.filter(kind="censor", location="rec")
+        assert len(events) == 1
+        assert events[0].detail == "custom detail"

@@ -1,0 +1,99 @@
+"""Tests for pcap export/import of packet traces."""
+
+import io
+import struct
+
+import pytest
+
+from repro.core import deployed_strategy
+from repro.eval import run_trial
+from repro.netsim.pcap import (
+    LINKTYPE_RAW,
+    PCAP_MAGIC,
+    read_pcap,
+    trace_to_pcap_bytes,
+    write_pcap,
+)
+
+
+@pytest.fixture
+def trace():
+    return run_trial("china", "http", deployed_strategy(1), seed=3).trace
+
+
+class TestExport:
+    def test_global_header(self, trace):
+        payload = trace_to_pcap_bytes(trace)
+        magic, major, minor, _, _, snaplen, network = struct.unpack_from(
+            "<IHHiIII", payload, 0
+        )
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        assert network == LINKTYPE_RAW
+        assert snaplen == 65535
+
+    def test_round_trip_packets(self, trace):
+        payload = trace_to_pcap_bytes(trace)
+        packets = read_pcap(payload)
+        sent = [e for e in trace.events if e.kind in ("send", "inject") and e.packet]
+        assert len(packets) == len(sent)
+        for (_, parsed), event in zip(packets, sent):
+            assert parsed.flow == event.packet.flow
+            assert parsed.tcp.seq == event.packet.tcp.seq
+            assert parsed.flags == event.packet.flags
+            assert parsed.load == event.packet.load
+
+    def test_timestamps_monotone(self, trace):
+        packets = read_pcap(trace_to_pcap_bytes(trace))
+        times = [t for t, _ in packets]
+        assert times == sorted(times)
+        assert times[0] >= 0
+
+    def test_write_to_path(self, trace, tmp_path):
+        path = tmp_path / "trial.pcap"
+        count = write_pcap(trace, str(path))
+        assert count > 0
+        assert read_pcap(str(path))
+
+    def test_write_to_stream(self, trace):
+        buffer = io.BytesIO()
+        count = write_pcap(trace, buffer)
+        assert count == len(read_pcap(buffer.getvalue()))
+
+    def test_kind_filter(self, trace):
+        only_injected = read_pcap(trace_to_pcap_bytes(trace, kinds=("inject",)))
+        everything = read_pcap(trace_to_pcap_bytes(trace))
+        assert len(only_injected) < len(everything)
+
+
+class TestReaderValidation:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            read_pcap(b"\x00" * 24)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            read_pcap(b"\x00" * 5)
+
+    def test_truncated_record_rejected(self, trace):
+        payload = trace_to_pcap_bytes(trace)
+        with pytest.raises(ValueError):
+            read_pcap(payload[:-3])
+
+    def test_wrong_linktype_rejected(self, trace):
+        payload = bytearray(trace_to_pcap_bytes(trace))
+        struct.pack_into("<I", payload, 20, 1)  # LINKTYPE_ETHERNET
+        with pytest.raises(ValueError):
+            read_pcap(bytes(payload))
+
+
+class TestCorruptedChecksumsSurvive:
+    def test_insertion_packets_still_corrupt_after_round_trip(self):
+        """Checksum-corrupted insertion packets keep their bad checksums
+        through pcap export (what a real capture would show)."""
+        from repro.core import compat_strategy
+
+        trace = run_trial(None, "http", compat_strategy(9), seed=1).trace
+        packets = read_pcap(trace_to_pcap_bytes(trace))
+        bad = [p for _, p in packets if not p.checksums_ok()]
+        assert len(bad) >= 3  # the three payload copies

@@ -1,0 +1,32 @@
+"""Tests for trace recording and filtering."""
+
+from repro.netsim import Trace
+from repro.packets import make_tcp_packet
+
+
+def test_record_and_filter():
+    trace = Trace()
+    pkt = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2)
+    trace.record(0.0, "send", "client", pkt)
+    trace.record(0.1, "recv", "server", pkt)
+    trace.record(0.2, "censor", "gfw", pkt, "keyword")
+    assert len(trace) == 3
+    assert len(trace.filter(kind="send")) == 1
+    assert len(trace.filter(location="server")) == 1
+    assert len(trace.filter(kind="censor", location="gfw")) == 1
+    assert trace.filter(kind="drop") == []
+
+
+def test_summary_and_dump():
+    trace = Trace()
+    trace.record(1.5, "drop", "hop3", None, "ttl expired")
+    text = trace.dump()
+    assert "drop" in text and "ttl expired" in text and "1.5" in text
+
+
+def test_recorded_packet_is_a_copy():
+    trace = Trace()
+    pkt = make_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, seq=5)
+    trace.record(0.0, "send", "client", pkt)
+    pkt.tcp.seq = 99
+    assert trace.events[0].packet.tcp.seq == 5

@@ -1,0 +1,76 @@
+"""Tests for RFC 1071 checksums and the TCP pseudo-header."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import internet_checksum, pseudo_header, tcp_checksum
+
+
+class TestInternetChecksum:
+    def test_known_vector(self):
+        # Classic example from RFC 1071 materials.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_empty_input(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        # Odd input is padded with a zero byte.
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_all_zeros(self):
+        assert internet_checksum(b"\x00" * 8) == 0xFFFF
+
+    def test_all_ones_wraps(self):
+        assert internet_checksum(b"\xff" * 4) == 0x0000
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_verification_property(self, data):
+        """Appending the checksum makes the total checksum verify to zero."""
+        if len(data) % 2:
+            data += b"\x00"
+        checksum = internet_checksum(data)
+        total = internet_checksum(data + struct.pack("!H", checksum))
+        assert total == 0
+
+    @given(st.binary(min_size=2, max_size=64))
+    def test_order_of_16bit_words_irrelevant_to_validity(self, data):
+        """Checksum is a sum: swapping two aligned words preserves it."""
+        if len(data) % 2:
+            data += b"\x00"
+        if len(data) < 4:
+            return
+        swapped = data[2:4] + data[0:2] + data[4:]
+        assert internet_checksum(data) == internet_checksum(swapped)
+
+
+class TestPseudoHeader:
+    def test_layout(self):
+        header = pseudo_header("1.2.3.4", "5.6.7.8", 6, 20)
+        assert header == bytes([1, 2, 3, 4, 5, 6, 7, 8, 0, 6, 0, 20])
+
+    def test_rejects_bad_address(self):
+        with pytest.raises(ValueError):
+            pseudo_header("1.2.3", "5.6.7.8", 6, 20)
+        with pytest.raises(ValueError):
+            pseudo_header("1.2.3.999", "5.6.7.8", 6, 20)
+        with pytest.raises(ValueError):
+            pseudo_header("a.b.c.d", "5.6.7.8", 6, 20)
+
+
+class TestTCPChecksum:
+    def test_differs_by_address(self):
+        segment = b"\x00" * 20
+        a = tcp_checksum("10.0.0.1", "10.0.0.2", segment)
+        b = tcp_checksum("10.0.0.1", "10.0.0.3", segment)
+        assert a != b
+
+    def test_deterministic(self):
+        segment = b"\x01\x02" * 10
+        assert tcp_checksum("1.1.1.1", "2.2.2.2", segment) == tcp_checksum(
+            "1.1.1.1", "2.2.2.2", segment
+        )

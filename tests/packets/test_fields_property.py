@@ -1,0 +1,91 @@
+"""Property-based tests over the full Geneva field registries.
+
+For every registered field of every layer: reading after writing returns
+the written value (masked to width), corruption keeps values in range,
+and tampered packets always survive a wire round trip.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packets import IPv4, Packet, TCP, UDP, make_tcp_packet, make_udp_packet
+from repro.packets.fields import corrupt_value
+
+INT_FIELDS_TCP = [
+    name for name, spec in TCP.FIELDS.items() if spec.kind == "int"
+]
+INT_FIELDS_IP = [name for name, spec in IPv4.FIELDS.items() if spec.kind == "int"]
+INT_FIELDS_UDP = [name for name, spec in UDP.FIELDS.items() if spec.kind == "int"]
+
+
+@given(st.sampled_from(INT_FIELDS_TCP), st.integers(0, 2**32 - 1))
+def test_tcp_int_fields_masked_round_trip(field, value):
+    tcp = TCP()
+    spec = TCP.FIELDS[field]
+    spec.set(tcp, value)
+    stored = spec.get(tcp)
+    assert stored == value & ((1 << spec.bits) - 1)
+
+
+@given(st.sampled_from(INT_FIELDS_IP), st.integers(0, 2**32 - 1))
+def test_ip_int_fields_masked_round_trip(field, value):
+    ip = IPv4()
+    spec = IPv4.FIELDS[field]
+    spec.set(ip, value)
+    assert spec.get(ip) == value & ((1 << spec.bits) - 1)
+
+
+@given(st.sampled_from(INT_FIELDS_UDP), st.integers(0, 2**32 - 1))
+def test_udp_int_fields_masked_round_trip(field, value):
+    udp = UDP()
+    spec = UDP.FIELDS[field]
+    spec.set(udp, value)
+    assert spec.get(udp) == value & ((1 << spec.bits) - 1)
+
+
+@given(st.sampled_from(sorted(TCP.FIELDS)), st.integers(0, 10_000))
+@settings(max_examples=150)
+def test_corrupting_any_tcp_field_keeps_packet_serializable(field, seed):
+    packet = make_tcp_packet(
+        "10.0.0.1", "10.0.0.2", 4000, 80, flags="SA", seq=1, ack=2,
+        load=b"x", options=[("mss", 1460), ("wscale", 7)],
+    )
+    packet.corrupt_field("TCP", field, random.Random(seed))
+    raw = packet.serialize()
+    assert len(raw) >= 40
+    Packet.parse(raw)  # must never raise
+
+
+@given(st.sampled_from(sorted(IPv4.FIELDS)), st.integers(0, 10_000))
+@settings(max_examples=100)
+def test_corrupting_any_ip_field_keeps_packet_serializable(field, seed):
+    packet = make_tcp_packet("10.0.0.1", "10.0.0.2", 4000, 80)
+    packet.corrupt_field("IP", field, random.Random(seed))
+    packet.serialize()  # must never raise
+
+
+@given(st.sampled_from(sorted(UDP.FIELDS)), st.integers(0, 10_000))
+@settings(max_examples=80)
+def test_corrupting_any_udp_field_keeps_packet_serializable(field, seed):
+    packet = make_udp_packet("10.0.0.1", "10.0.0.2", 4000, 53, load=b"q")
+    packet.corrupt_field("UDP", field, random.Random(seed))
+    packet.serialize()
+
+
+@given(st.integers(0, 100_000))
+def test_corrupt_flags_always_valid_letters(seed):
+    from repro.packets.fields import TCP_FLAG_LETTERS
+
+    value = corrupt_value(TCP.FIELDS["flags"], "SA", random.Random(seed))
+    assert set(value) <= set(TCP_FLAG_LETTERS)
+
+
+@given(st.integers(0, 100_000))
+def test_corrupt_ip_address_parses(seed):
+    value = corrupt_value(IPv4.FIELDS["src"], "1.2.3.4", random.Random(seed))
+    parts = value.split(".")
+    assert len(parts) == 4
+    assert all(0 <= int(part) <= 255 for part in parts)

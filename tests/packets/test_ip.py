@@ -1,0 +1,96 @@
+"""Tests for the IPv4 header layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import IPv4, internet_checksum
+
+
+class TestSerialization:
+    def test_header_length_default(self):
+        assert IPv4().header_length() == 20
+
+    def test_round_trip_basic(self):
+        ip = IPv4(src="192.168.1.10", dst="8.8.8.8", ttl=37, proto=6, ident=555)
+        raw = ip.serialize(b"payload")
+        parsed, payload = IPv4.parse(raw)
+        assert parsed.src == "192.168.1.10"
+        assert parsed.dst == "8.8.8.8"
+        assert parsed.ttl == 37
+        assert parsed.proto == 6
+        assert parsed.ident == 555
+        assert payload == b"payload"
+
+    def test_checksum_valid_on_wire(self):
+        raw = IPv4(src="1.2.3.4", dst="4.3.2.1").serialize(b"")
+        assert internet_checksum(raw[:20]) == 0
+
+    def test_total_length_field(self):
+        raw = IPv4().serialize(b"x" * 13)
+        total_len = int.from_bytes(raw[2:4], "big")
+        assert total_len == 33
+
+    def test_len_override_survives(self):
+        ip = IPv4()
+        ip.len_override = 9999
+        raw = ip.serialize(b"abc")
+        assert int.from_bytes(raw[2:4], "big") == 9999
+
+    def test_corrupted_checksum_round_trips(self):
+        ip = IPv4(src="1.1.1.1", dst="2.2.2.2")
+        ip.chksum_override = 0xDEAD
+        raw = ip.serialize(b"")
+        parsed, _ = IPv4.parse(raw)
+        assert parsed.chksum_override == 0xDEAD
+
+    def test_valid_checksum_parses_without_override(self):
+        raw = IPv4(src="1.1.1.1", dst="2.2.2.2").serialize(b"")
+        parsed, _ = IPv4.parse(raw)
+        assert parsed.chksum_override is None
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            IPv4.parse(b"\x45" * 10)
+
+    @given(
+        src=st.tuples(*[st.integers(0, 255)] * 4),
+        dst=st.tuples(*[st.integers(0, 255)] * 4),
+        ttl=st.integers(1, 255),
+        ident=st.integers(0, 0xFFFF),
+        payload=st.binary(max_size=64),
+    )
+    def test_round_trip_property(self, src, dst, ttl, ident, payload):
+        ip = IPv4(
+            src=".".join(map(str, src)),
+            dst=".".join(map(str, dst)),
+            ttl=ttl,
+            ident=ident,
+        )
+        parsed, parsed_payload = IPv4.parse(ip.serialize(payload))
+        assert (parsed.src, parsed.dst) == (ip.src, ip.dst)
+        assert (parsed.ttl, parsed.ident) == (ttl, ident)
+        assert parsed_payload == payload
+
+
+class TestFields:
+    def test_copy_is_independent(self):
+        ip = IPv4(ttl=10)
+        clone = ip.copy()
+        clone.ttl = 99
+        assert ip.ttl == 10
+
+    def test_field_registry_get_set(self):
+        ip = IPv4(ttl=64)
+        spec = IPv4.FIELDS["ttl"]
+        assert spec.get(ip) == 64
+        spec.set(ip, 300)  # masked to 8 bits
+        assert ip.ttl == 300 & 0xFF
+
+    def test_src_dst_fields(self):
+        ip = IPv4()
+        IPv4.FIELDS["src"].set(ip, "9.9.9.9")
+        assert ip.src == "9.9.9.9"
+
+    def test_repr_contains_addresses(self):
+        assert "1.2.3.4" in repr(IPv4(src="1.2.3.4"))

@@ -1,0 +1,165 @@
+"""Tests for the IPv6 layer and dual-stack packet handling."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import Packet, make_tcp_packet, tcp_checksum
+from repro.packets.ipv6 import (
+    IPv6,
+    bytes_to_v6,
+    canonical_ip,
+    compress_v6,
+    expand_v6,
+    v6_to_bytes,
+)
+
+
+class TestAddressCodec:
+    def test_expand_double_colon(self):
+        assert expand_v6("2001:db8::1") == "2001:db8:0:0:0:0:0:1"
+        assert expand_v6("::") == "0:0:0:0:0:0:0:0"
+        assert expand_v6("::1") == "0:0:0:0:0:0:0:1"
+        assert expand_v6("fe80::") == "fe80:0:0:0:0:0:0:0"
+
+    def test_compress(self):
+        assert compress_v6("2001:db8:0:0:0:0:0:1") == "2001:db8::1"
+        assert compress_v6("0:0:0:0:0:0:0:1") == "::1"
+        assert compress_v6("1:2:3:4:5:6:7:8") == "1:2:3:4:5:6:7:8"
+
+    def test_bytes_round_trip(self):
+        raw = v6_to_bytes("2001:db8::beef")
+        assert len(raw) == 16
+        assert bytes_to_v6(raw) == "2001:db8:0:0:0:0:0:beef"
+
+    def test_invalid_addresses_rejected(self):
+        for bad in ("2001:::1", "1:2:3", "1:2:3:4:5:6:7:8:9", "g::1"):
+            with pytest.raises(ValueError):
+                v6_to_bytes(bad)
+
+    def test_canonical_ip_both_families(self):
+        assert canonical_ip("10.0.0.1") == "10.0.0.1"
+        assert canonical_ip("2001:db8::1") == "2001:db8:0:0:0:0:0:1"
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=8, max_size=8))
+    def test_expand_compress_round_trip(self, groups):
+        address = ":".join(f"{g:x}" for g in groups)
+        assert expand_v6(compress_v6(address)) == expand_v6(address)
+
+
+class TestHeader:
+    def test_serialize_parse_round_trip(self):
+        ip = IPv6(src="2001:db8::2", dst="2001:db8::10", hop_limit=33, flow_label=0xABCDE)
+        parsed, payload = IPv6.parse(ip.serialize(b"payload"))
+        assert parsed.src == expand_v6("2001:db8::2")
+        assert parsed.hop_limit == 33
+        assert parsed.flow_label == 0xABCDE
+        assert payload == b"payload"
+
+    def test_ttl_alias(self):
+        ip = IPv6(hop_limit=7)
+        assert ip.ttl == 7
+        ip.ttl = 3
+        assert ip.hop_limit == 3
+
+    def test_no_header_checksum(self):
+        ip = IPv6()
+        assert ip.chksum_override is None
+        assert ip.checksum_ok(b"anything")
+
+    def test_version_check_on_parse(self):
+        with pytest.raises(ValueError):
+            IPv6.parse(b"\x45" + b"\x00" * 60)  # an IPv4 header
+
+    def test_field_registry(self):
+        ip = IPv6()
+        IPv6.FIELDS["ttl"].set(ip, 9)
+        assert ip.hop_limit == 9
+        IPv6.FIELDS["fl"].set(ip, 0x12345)
+        assert ip.flow_label == 0x12345
+
+
+class TestDualStackPackets:
+    def test_make_tcp_packet_selects_family(self):
+        v6 = make_tcp_packet("2001:db8::2", "2001:db8::10", 1, 2)
+        v4 = make_tcp_packet("10.0.0.1", "10.0.0.2", 1, 2)
+        assert isinstance(v6.ip, IPv6)
+        assert not isinstance(v4.ip, IPv6)
+
+    def test_v6_wire_round_trip(self):
+        packet = make_tcp_packet(
+            "2001:db8::2", "2001:db8::10", 4000, 80, flags="PA", seq=5, ack=6,
+            load=b"GET / HTTP/1.1\r\n\r\n",
+        )
+        parsed = Packet.parse(packet.serialize())
+        assert isinstance(parsed.ip, IPv6)
+        assert parsed.load == b"GET / HTTP/1.1\r\n\r\n"
+        assert parsed.checksums_ok()
+
+    def test_v6_checksum_differs_from_v4(self):
+        segment = b"\x00" * 20
+        v4 = tcp_checksum("10.0.0.1", "10.0.0.2", segment)
+        v6 = tcp_checksum("2001:db8::1", "2001:db8::2", segment)
+        assert v4 != v6
+
+    def test_geneva_tamper_on_v6(self, rng):
+        packet = make_tcp_packet("2001:db8::2", "2001:db8::10", 1, 2, flags="SA")
+        packet.replace_field("IP", "ttl", "5")
+        assert packet.ip.hop_limit == 5
+        packet.corrupt_field("IP", "src", rng)
+        assert ":" in packet.ip.src  # corruption stays in-family
+
+    def test_v6_udp(self):
+        from repro.packets import make_udp_packet
+
+        packet = make_udp_packet("2001:db8::2", "2001:db8::10", 5353, 53, load=b"q")
+        parsed = Packet.parse(packet.serialize())
+        assert parsed.is_udp and parsed.load == b"q"
+
+
+class TestV6EndToEnd:
+    def test_http_exchange_over_v6(self, linked_hosts):
+        """The whole stack is address-family agnostic."""
+        import random as _random
+
+        from repro.netsim import Network, Scheduler
+        from repro.apps import HTTPClient, HTTPServer
+        from repro.tcpstack import Host, personality
+
+        sched = Scheduler()
+        client = Host("client", "2001:db8::2", sched, _random.Random(2),
+                      personality("ubuntu-18.04.1"))
+        server = Host("server", "2001:db8:beef::10", sched, _random.Random(3))
+        net = Network(sched, client, server)
+        client.attach(net)
+        server.attach(net)
+        HTTPServer(server, 80).install()
+        app = HTTPClient(client, "2001:db8:beef::10", 80, path="/?q=v6")
+        app.start()
+        sched.run(until=15)
+        assert app.outcome == "success"
+
+    def test_server_strategy_over_v6(self):
+        """Geneva strategies apply unchanged to IPv6 traffic."""
+        import random as _random
+
+        from repro.core import deployed_strategy, install_strategy
+        from repro.netsim import Network, Scheduler
+        from repro.apps import HTTPClient, HTTPServer
+        from repro.tcpstack import Host, personality
+
+        sched = Scheduler()
+        client = Host("client", "2001:db8::2", sched, _random.Random(2),
+                      personality("ubuntu-18.04.1"))
+        server = Host("server", "2001:db8:beef::10", sched, _random.Random(3))
+        net = Network(sched, client, server)
+        client.attach(net)
+        server.attach(net)
+        install_strategy(server, deployed_strategy(1), _random.Random(9))
+        HTTPServer(server, 80).install()
+        app = HTTPClient(client, "2001:db8:beef::10", 80)
+        app.start()
+        sched.run(until=15)
+        assert app.outcome == "success"  # sim-open handshake over v6

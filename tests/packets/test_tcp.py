@@ -1,0 +1,147 @@
+"""Tests for the TCP segment layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packets import TCP, bits_to_flags, flags_to_bits
+
+
+class TestFlags:
+    def test_round_trip_all_letters(self):
+        for letters in ("S", "SA", "PA", "FPA", "R", "RA", ""):
+            assert bits_to_flags(flags_to_bits(letters)) == "".join(
+                sorted(letters, key="FSRPAUEC".index)
+            )
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ValueError):
+            flags_to_bits("X")
+
+    def test_canonical_ordering(self):
+        assert TCP(flags="AS").flags == "SA"
+        assert TCP(flags="apf").flags == "FPA"
+
+    def test_flag_predicates(self):
+        syn = TCP(flags="S")
+        synack = TCP(flags="SA")
+        assert syn.is_syn and not syn.is_synack
+        assert synack.is_synack and not synack.is_syn
+        assert TCP(flags="R").is_rst
+        assert TCP(flags="FA").is_fin and TCP(flags="FA").is_ack
+
+    def test_null_flags(self):
+        null = TCP(flags="")
+        assert null.flags == ""
+        assert not (null.is_syn or null.is_rst or null.is_ack or null.is_fin)
+
+
+class TestOptions:
+    def test_mss_wscale_sack_round_trip(self):
+        tcp = TCP(options=[("mss", 1460), ("wscale", 7), ("sackok", None)])
+        raw = tcp.serialize("1.1.1.1", "2.2.2.2")
+        parsed = TCP.parse(raw, "1.1.1.1", "2.2.2.2")
+        assert parsed.get_option("mss") == 1460
+        assert parsed.get_option("wscale") == 7
+        assert parsed.get_option("sackok") is None  # present, valueless
+        assert ("sackok", None) in parsed.options
+
+    def test_timestamp_round_trip(self):
+        tcp = TCP(options=[("timestamp", (123456, 654321))])
+        parsed = TCP.parse(tcp.serialize("1.1.1.1", "2.2.2.2"), "1.1.1.1", "2.2.2.2")
+        assert parsed.get_option("timestamp") == (123456, 654321)
+
+    def test_remove_option(self):
+        tcp = TCP(options=[("mss", 1460), ("wscale", 7)])
+        tcp.remove_option("wscale")
+        assert tcp.get_option("wscale") is None
+        assert tcp.get_option("mss") == 1460
+
+    def test_set_option_replaces(self):
+        tcp = TCP(options=[("wscale", 7)])
+        tcp.set_option("wscale", 2)
+        assert tcp.get_option("wscale") == 2
+        assert len([o for o in tcp.options if o[0] == "wscale"]) == 1
+
+    def test_dataofs_accounts_for_options(self):
+        tcp = TCP(options=[("mss", 1460)])
+        raw = tcp.serialize("1.1.1.1", "2.2.2.2")
+        dataofs = raw[12] >> 4
+        assert dataofs == 6  # 20 bytes header + 4 bytes option
+
+
+class TestSerialization:
+    def test_round_trip_core_fields(self):
+        tcp = TCP(
+            sport=1234,
+            dport=80,
+            seq=0xDEADBEEF,
+            ack=0x01020304,
+            flags="PA",
+            window=512,
+            load=b"GET / HTTP/1.1\r\n\r\n",
+        )
+        parsed = TCP.parse(tcp.serialize("10.0.0.1", "10.0.0.2"), "10.0.0.1", "10.0.0.2")
+        assert parsed.sport == 1234
+        assert parsed.dport == 80
+        assert parsed.seq == 0xDEADBEEF
+        assert parsed.ack == 0x01020304
+        assert parsed.flags == "PA"
+        assert parsed.window == 512
+        assert parsed.load == b"GET / HTTP/1.1\r\n\r\n"
+
+    def test_checksum_ok_when_untampered(self):
+        tcp = TCP(load=b"data")
+        parsed = TCP.parse(tcp.serialize("10.0.0.1", "10.0.0.2"), "10.0.0.1", "10.0.0.2")
+        assert parsed.chksum_override is None
+        assert parsed.checksum_ok("10.0.0.1", "10.0.0.2")
+
+    def test_corrupted_checksum_detected_and_preserved(self):
+        tcp = TCP(load=b"data")
+        tcp.chksum_override = 0x1337
+        raw = tcp.serialize("10.0.0.1", "10.0.0.2")
+        parsed = TCP.parse(raw, "10.0.0.1", "10.0.0.2")
+        assert parsed.chksum_override == 0x1337
+        assert not parsed.checksum_ok("10.0.0.1", "10.0.0.2")
+
+    def test_checksum_depends_on_addresses(self):
+        tcp = TCP(load=b"x")
+        raw = tcp.serialize("10.0.0.1", "10.0.0.2")
+        # Parsing with wrong addresses sees a checksum mismatch.
+        parsed = TCP.parse(raw, "10.0.0.1", "10.0.0.9")
+        assert parsed.chksum_override is not None
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            TCP.parse(b"\x00" * 10)
+
+    def test_copy_is_deep_for_options(self):
+        tcp = TCP(options=[("mss", 1460)])
+        clone = tcp.copy()
+        clone.set_option("mss", 500)
+        assert tcp.get_option("mss") == 1460
+
+    @given(
+        sport=st.integers(0, 0xFFFF),
+        dport=st.integers(0, 0xFFFF),
+        seq=st.integers(0, 0xFFFFFFFF),
+        ack=st.integers(0, 0xFFFFFFFF),
+        window=st.integers(0, 0xFFFF),
+        load=st.binary(max_size=100),
+        flag_bits=st.integers(0, 255),
+    )
+    def test_round_trip_property(self, sport, dport, seq, ack, window, load, flag_bits):
+        tcp = TCP(
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            ack=ack,
+            flags=bits_to_flags(flag_bits),
+            window=window,
+            load=load,
+        )
+        parsed = TCP.parse(tcp.serialize("1.1.1.1", "2.2.2.2"), "1.1.1.1", "2.2.2.2")
+        assert parsed.seq == seq and parsed.ack == ack
+        assert parsed.flags == bits_to_flags(flag_bits)
+        assert parsed.load == load
+        assert parsed.chksum_override is None  # checksum always valid

@@ -1,0 +1,128 @@
+"""Tests for the normal TCP three-way handshake and data exchange."""
+
+from repro.tcpstack import states
+
+
+def open_echo_server(pair, port=80, respond=b"pong"):
+    """Listen on the server; respond once to any data, then close."""
+    accepted = []
+
+    def on_accept(endpoint):
+        accepted.append(endpoint)
+
+        def on_data(data):
+            endpoint.send(respond)
+            endpoint.close()
+
+        endpoint.on_data = on_data
+
+    pair.server.listen(port, on_accept)
+    return accepted
+
+
+class TestHandshake:
+    def test_three_way_handshake(self, linked_hosts):
+        pair = linked_hosts()
+        open_echo_server(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run()
+        assert ep.established
+        assert ep.state in (states.ESTABLISHED, states.CLOSE_WAIT)
+
+    def test_handshake_packet_sequence(self, linked_hosts):
+        pair = linked_hosts()
+        open_echo_server(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        trace = pair.run()
+        wire = [
+            (e.location, e.packet.flags)
+            for e in trace.events
+            if e.kind == "send"
+        ]
+        assert wire[:3] == [("client", "S"), ("server", "SA"), ("client", "A")]
+
+    def test_isn_is_random_per_connection(self, linked_hosts):
+        pair = linked_hosts()
+        ep1 = pair.client.open_connection("10.0.0.2", 80)
+        ep2 = pair.client.open_connection("10.0.0.2", 81)
+        ep1.connect()
+        ep2.connect()
+        assert ep1.iss != ep2.iss
+
+    def test_data_round_trip(self, linked_hosts):
+        pair = linked_hosts()
+        open_echo_server(pair, respond=b"response-bytes")
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_established = lambda: ep.send(b"ping")
+        ep.connect()
+        pair.run()
+        assert bytes(ep.received) == b"response-bytes"
+
+    def test_fin_teardown(self, linked_hosts):
+        pair = linked_hosts()
+        open_echo_server(pair)
+        closed = []
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_established = lambda: ep.send(b"x")
+        ep.on_remote_close = lambda: closed.append(True)
+        ep.connect()
+        pair.run()
+        assert closed == [True]
+        assert ep.state == states.CLOSE_WAIT
+
+    def test_full_close_both_sides(self, linked_hosts):
+        pair = linked_hosts()
+        open_echo_server(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_established = lambda: ep.send(b"x")
+        ep.on_remote_close = ep.close
+        ep.connect()
+        pair.run()
+        assert ep.state == states.CLOSED
+
+    def test_options_negotiated(self, linked_hosts):
+        pair = linked_hosts()
+        open_echo_server(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run()
+        assert ep.peer_mss == 1460
+        assert ep.peer_wscale is not None
+
+    def test_syn_retransmitted_when_lost(self, linked_hosts):
+        from repro.netsim import Middlebox
+
+        class DropFirstSyn(Middlebox):
+            def __init__(self):
+                self.dropped = False
+
+            def process(self, packet, direction, ctx):
+                if packet.tcp.is_syn and not self.dropped:
+                    self.dropped = True
+                    return []
+                return [packet]
+
+        pair = linked_hosts(middleboxes=[DropFirstSyn()])
+        open_echo_server(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run()
+        assert ep.established
+
+    def test_connection_fails_when_server_unreachable(self, linked_hosts):
+        from repro.netsim import Middlebox
+
+        class BlackHole(Middlebox):
+            def process(self, packet, direction, ctx):
+                return []
+
+        pair = linked_hosts(middleboxes=[BlackHole()])
+        failures = []
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_failure = failures.append
+        ep.connect()
+        pair.run(until=60)
+        assert failures
+        assert ep.state == states.CLOSED

@@ -1,0 +1,95 @@
+"""Tests for the §7 OS personality profiles."""
+
+import random
+
+import pytest
+
+from repro.netsim import Network, Scheduler
+from repro.packets import make_tcp_packet
+from repro.tcpstack import (
+    PERSONALITIES,
+    Host,
+    all_personality_names,
+    personality,
+)
+
+_MOD = 1 << 32
+
+
+class TestRegistry:
+    def test_seventeen_client_oses(self):
+        assert len(PERSONALITIES) == 17
+
+    def test_families_present(self):
+        families = {p.family for p in PERSONALITIES.values()}
+        assert families == {"windows", "macos", "ios", "android", "linux"}
+
+    def test_eight_windows_versions(self):
+        windows = [p for p in PERSONALITIES.values() if p.family == "windows"]
+        assert len(windows) == 8
+
+    def test_lookup_by_name(self):
+        assert personality("macos-10.15").family == "macos"
+        with pytest.raises(ValueError):
+            personality("temple-os")
+
+    def test_server_profile_available(self):
+        assert personality("ubuntu-18.04.3-server").family == "linux"
+
+    def test_windows_and_macos_consume_synack_payloads(self):
+        for p in PERSONALITIES.values():
+            if p.family in ("windows", "macos"):
+                assert not p.ignores_synack_payload
+            else:
+                assert p.ignores_synack_payload
+
+    def test_everyone_supports_simultaneous_open(self):
+        assert all(p.supports_simultaneous_open for p in PERSONALITIES.values())
+
+    def test_everyone_ignores_bare_rst_in_synsent(self):
+        assert all(
+            p.ignores_rst_without_ack_in_synsent for p in PERSONALITIES.values()
+        )
+
+    def test_stable_name_order(self):
+        assert all_personality_names() == sorted(all_personality_names())
+
+
+class TestSynAckPayloadBehaviour:
+    def _deliver_synack_with_payload(self, os_name):
+        sched = Scheduler()
+        client = Host("client", "10.0.0.1", sched, random.Random(1), personality(os_name))
+        server = Host("server", "10.0.0.2", sched, random.Random(2))
+        net = Network(sched, client, server)
+        client.attach(net)
+        server.attach(net)
+        ep = client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        sched.run(until=sched.now + 0.2)
+        synack = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="SA",
+            seq=9000, ack=(ep.iss + 1) % _MOD, load=b"JUNK",
+        )
+        client.receive(synack)
+        sched.run(until=sched.now + 0.2)
+        return ep
+
+    def test_linux_discards_payload(self):
+        ep = self._deliver_synack_with_payload("ubuntu-18.04.1")
+        assert ep.established
+        assert bytes(ep.received) == b""
+        assert ep.rcv_nxt == 9001
+
+    def test_windows_consumes_payload(self):
+        ep = self._deliver_synack_with_payload("windows-10-enterprise-17134")
+        assert ep.established
+        assert bytes(ep.received) == b"JUNK"
+        assert ep.rcv_nxt == 9001 + 4  # desynchronized from the real server
+
+    def test_macos_consumes_payload(self):
+        ep = self._deliver_synack_with_payload("macos-10.15")
+        assert bytes(ep.received) == b"JUNK"
+
+    def test_ios_discards_payload(self):
+        ep = self._deliver_synack_with_payload("ios-13.3")
+        assert bytes(ep.received) == b""

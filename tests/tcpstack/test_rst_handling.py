@@ -1,0 +1,153 @@
+"""Tests for RST handling: ignored RSTs, induced RSTs, valid teardowns."""
+
+import random
+
+from repro.netsim import Network, Scheduler
+from repro.packets import make_tcp_packet
+from repro.tcpstack import Host, personality, states
+
+_MOD = 1 << 32
+
+
+def make_pair(seed=1, os_name="ubuntu-18.04.1"):
+    sched = Scheduler()
+    client = Host("client", "10.0.0.1", sched, random.Random(seed), personality(os_name))
+    server = Host("server", "10.0.0.2", sched, random.Random(seed + 1))
+    net = Network(sched, client, server)
+    client.attach(net)
+    server.attach(net)
+    return sched, client, server, net
+
+
+def connect_syn_sent(seed=1):
+    sched, client, server, net = make_pair(seed)
+    ep = client.open_connection("10.0.0.2", 80)
+    ep.connect()
+    sched.run(until=sched.now + 0.2)
+    return sched, client, net, ep
+
+
+def client_sends(net):
+    return [e.packet for e in net.trace.events if e.kind == "send" and e.location == "client"]
+
+
+class TestRstInSynSent:
+    def test_rst_without_ack_ignored(self):
+        """Every modern OS ignores a bare RST in SYN_SENT (Strategy 1)."""
+        sched, client, net, ep = connect_syn_sent()
+        rst = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="R", seq=1)
+        client.receive(rst)
+        sched.run(until=sched.now)  # process immediately queued work
+        assert ep.state == states.SYN_SENT
+        assert not ep.was_reset
+
+    def test_rst_with_valid_ack_resets(self):
+        sched, client, net, ep = connect_syn_sent()
+        rst = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="RA",
+            seq=0, ack=(ep.iss + 1) % _MOD,
+        )
+        client.receive(rst)
+        assert ep.was_reset
+        assert ep.state == states.CLOSED
+
+    def test_rst_with_wrong_ack_ignored(self):
+        sched, client, net, ep = connect_syn_sent()
+        rst = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="RA",
+            seq=0, ack=(ep.iss + 999) % _MOD,
+        )
+        client.receive(rst)
+        assert not ep.was_reset
+
+
+class TestInducedRst:
+    def test_bad_synack_ack_induces_rst(self):
+        """A SYN+ACK with a wrong ack number elicits RST(seq=ackno) and the
+        client stays in SYN_SENT — the mechanism of Strategies 3–7."""
+        sched, client, net, ep = connect_syn_sent()
+        bad_ack = 0xBADC0DE
+        synack = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="SA", seq=7000, ack=bad_ack
+        )
+        client.receive(synack)
+        sched.run(until=sched.now + 0.2)
+        rsts = [p for p in client_sends(net) if p.tcp.is_rst]
+        assert len(rsts) == 1
+        assert rsts[0].tcp.seq == bad_ack
+        assert rsts[0].flags == "R"
+        assert ep.state == states.SYN_SENT
+
+    def test_valid_synack_after_induced_rst_completes(self):
+        sched, client, net, ep = connect_syn_sent()
+        client.receive(
+            make_tcp_packet(
+                "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="SA",
+                seq=7000, ack=0xBAD,
+            )
+        )
+        client.receive(
+            make_tcp_packet(
+                "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="SA",
+                seq=7000, ack=(ep.iss + 1) % _MOD,
+            )
+        )
+        sched.run(until=sched.now + 0.2)
+        assert ep.established
+
+
+class TestRstInEstablished:
+    def establish(self, seed=3):
+        sched, client, server, net = make_pair(seed)
+        server.listen(80, lambda endpoint: None)
+        ep = client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        sched.run(until=sched.now + 0.2)
+        assert ep.established
+        return sched, client, net, ep
+
+    def test_in_window_rst_resets(self):
+        sched, client, net, ep = self.establish()
+        rst = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="RA",
+            seq=ep.rcv_nxt, ack=ep.snd_nxt,
+        )
+        client.receive(rst)
+        assert ep.was_reset
+
+    def test_out_of_window_rst_ignored(self):
+        sched, client, net, ep = self.establish()
+        rst = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="RA",
+            seq=(ep.rcv_nxt + 10_000_000) % _MOD, ack=ep.snd_nxt,
+        )
+        client.receive(rst)
+        assert not ep.was_reset
+
+    def test_reset_reported_to_app(self):
+        sched, client, net, ep = self.establish()
+        resets = []
+        ep.on_reset = lambda: resets.append(True)
+        client.receive(
+            make_tcp_packet(
+                "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="RA",
+                seq=ep.rcv_nxt, ack=ep.snd_nxt,
+            )
+        )
+        assert resets == [True]
+
+
+class TestChecksumValidation:
+    def test_bad_checksum_packet_dropped_by_host(self):
+        """Checksum-corrupted insertion packets never reach the stack."""
+        sched, client, net, ep = connect_syn_sent()
+        synack = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="SA",
+            seq=7000, ack=(ep.iss + 1) % _MOD,
+        )
+        synack.tcp.chksum_override = 0x1234
+        client.receive(synack)
+        sched.run(until=sched.now)
+        assert not ep.established
+        drops = [e for e in net.trace.events if e.kind == "drop"]
+        assert any("checksum" in e.detail for e in drops)

@@ -1,0 +1,132 @@
+"""Tests for window-driven segmentation (the mechanism behind Strategy 8)."""
+
+import random
+
+from repro.core import Strategy, install_strategy
+from repro.tcpstack import states
+
+
+def serve_http_like(pair, port=80):
+    def on_accept(endpoint):
+        def on_data(data):
+            if b"\r\n\r\n" in bytes(endpoint.received):
+                endpoint.send(b"OK")
+                endpoint.close()
+
+        endpoint.on_data = on_data
+
+    pair.server.listen(port, on_accept)
+
+
+WINDOW_10 = Strategy.parse(
+    "[TCP:flags:SA]-tamper{TCP:window:replace:10}(tamper{TCP:options-wscale:replace:},)-| \\/"
+)
+
+
+class TestSegmentation:
+    def test_small_window_segments_first_flight(self, linked_hosts):
+        pair = linked_hosts()
+        install_strategy(pair.server, WINDOW_10, random.Random(1))
+        serve_http_like(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        request = b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n"
+        ep.on_established = lambda: ep.send(request)
+        ep.connect()
+        trace = pair.run()
+        data_packets = [
+            e.packet
+            for e in trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.load
+        ]
+        assert len(data_packets) >= 2
+        assert len(data_packets[0].load) == 10  # clamped to the window
+        # The full request still arrives, reassembled, at the server.
+        assert bytes(ep.received) == b"OK"
+
+    def test_keyword_split_across_segments(self, linked_hosts):
+        pair = linked_hosts()
+        install_strategy(pair.server, WINDOW_10, random.Random(1))
+        serve_http_like(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        request = b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n"
+        ep.on_established = lambda: ep.send(request)
+        ep.connect()
+        trace = pair.run()
+        data_packets = [
+            e.packet
+            for e in trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.load
+        ]
+        # No single segment contains the censored keyword.
+        assert all(b"ultrasurf" not in p.load for p in data_packets)
+
+    def test_window_scaling_honored_when_present(self, linked_hosts):
+        """Without the strategy the request goes out in one segment."""
+        pair = linked_hosts()
+        serve_http_like(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_established = lambda: ep.send(b"GET / HTTP/1.1\r\n\r\n")
+        ep.connect()
+        trace = pair.run()
+        data_packets = [
+            e.packet
+            for e in trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.load
+        ]
+        assert len(data_packets) == 1
+
+    def test_wscale_removal_disables_scaling(self, linked_hosts):
+        pair = linked_hosts()
+        install_strategy(pair.server, WINDOW_10, random.Random(1))
+        serve_http_like(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run()
+        assert ep.peer_wscale is None
+        assert ep.snd_wnd >= 10  # updated by later ACKs
+
+    def test_mss_limits_segments(self, linked_hosts):
+        pair = linked_hosts()
+        serve_http_like(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        big = b"A" * 4000 + b"\r\n\r\n"
+        ep.on_established = lambda: ep.send(big)
+        ep.connect()
+        trace = pair.run()
+        data_packets = [
+            e.packet
+            for e in trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.load
+        ]
+        assert all(len(p.load) <= 1460 for p in data_packets)
+        assert sum(len(p.load) for p in data_packets) >= len(big)
+
+    def test_out_of_order_segments_reassembled(self, linked_hosts):
+        """The server stack reorders out-of-order arrivals."""
+        from repro.netsim import Middlebox
+
+        class Reorderer(Middlebox):
+            def __init__(self):
+                self.held = None
+
+            def process(self, packet, direction, ctx):
+                if direction == "c2s" and packet.load and self.held is None:
+                    self.held = packet
+                    return []
+                if direction == "c2s" and packet.load and self.held is not None:
+                    held, self.held = self.held, None
+                    return [packet, held]
+                return [packet]
+
+        pair = linked_hosts(middleboxes=[Reorderer()])
+        received = []
+
+        def on_accept(endpoint):
+            endpoint.on_data = lambda data: received.append(bytes(endpoint.received))
+
+        pair.server.listen(80, on_accept)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_established = lambda: (ep.send(b"A" * 1460), ep.send(b"B" * 100))
+        ep.connect()
+        pair.run()
+        assert received and received[-1] == b"A" * 1460 + b"B" * 100

@@ -1,0 +1,130 @@
+"""Tests for TCP simultaneous open — the behaviour Strategies 1–3 exploit."""
+
+import random
+
+from repro.packets import make_tcp_packet
+from repro.tcpstack import Host, TCPEndpoint, personality, states
+from repro.netsim import Scheduler, Network
+
+
+def make_client(seed=1, os_name="ubuntu-18.04.1"):
+    sched = Scheduler()
+    client = Host("client", "10.0.0.1", sched, random.Random(seed), personality(os_name))
+    server = Host("server", "10.0.0.2", sched, random.Random(seed + 1))
+    net = Network(sched, client, server)
+    client.attach(net)
+    server.attach(net)
+    return sched, client, server, net
+
+
+def sent_by(trace, location):
+    return [e.packet for e in trace.events if e.kind == "send" and e.location == location]
+
+
+class TestSimultaneousOpen:
+    def test_syn_in_syn_sent_triggers_synack(self):
+        sched, client, server, net = make_client()
+        ep = client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        sched.run(until=sched.now + 0.2)
+        # Server-originated SYN (as Strategy 1 produces).
+        syn = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="S", seq=5000)
+        client.receive(syn)
+        sched.run(until=sched.now + 0.2)
+        replies = sent_by(net.trace, "client")
+        assert replies[-1].flags == "SA"
+        assert ep.state == states.SYN_RCVD
+        assert ep.simultaneous_open_used
+
+    def test_simopen_synack_reuses_isn(self):
+        """The SYN+ACK's sequence number must NOT be incremented — the
+        detail that desynchronizes the GFW by one byte."""
+        sched, client, server, net = make_client()
+        ep = client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        sched.run(until=sched.now + 0.2)
+        syn = make_tcp_packet("10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="S", seq=5000)
+        client.receive(syn)
+        sched.run(until=sched.now + 0.2)
+        synack = sent_by(net.trace, "client")[-1]
+        assert synack.tcp.seq == ep.iss  # same as the original SYN
+        assert synack.tcp.ack == 5001
+
+    def test_handshake_completes_after_ack(self):
+        sched, client, server, net = make_client()
+        ep = client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        sched.run(until=sched.now + 0.2)
+        client.receive(
+            make_tcp_packet("10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="S", seq=5000)
+        )
+        sched.run(until=sched.now + 0.2)
+        # Peer ACKs our SYN (ack = iss + 1).
+        ack = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="A",
+            seq=5001, ack=(ep.iss + 1) % (1 << 32),
+        )
+        client.receive(ack)
+        sched.run(until=sched.now + 0.2)
+        assert ep.established
+
+    def test_handshake_completes_on_peer_synack(self):
+        """RFC-style sim-open: both sides send SYN+ACK."""
+        sched, client, server, net = make_client()
+        ep = client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        sched.run(until=sched.now + 0.2)
+        client.receive(
+            make_tcp_packet("10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="S", seq=5000)
+        )
+        sched.run(until=sched.now + 0.2)
+        synack = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="SA",
+            seq=5000, ack=(ep.iss + 1) % (1 << 32),
+        )
+        client.receive(synack)
+        sched.run(until=sched.now + 0.2)
+        assert ep.established
+        # Client acknowledges so the peer can finish too.
+        assert sent_by(net.trace, "client")[-1].flags == "A"
+
+    def test_duplicate_syn_with_payload_is_acked_payload_ignored(self):
+        """Strategy 2's second SYN carries a payload; the client ACKs but
+        never delivers the bytes to the application."""
+        sched, client, server, net = make_client()
+        ep = client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        sched.run(until=sched.now + 0.2)
+        client.receive(
+            make_tcp_packet("10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="S", seq=5000)
+        )
+        sched.run(until=sched.now + 0.2)
+        already_sent = len(sent_by(net.trace, "client"))
+        dup = make_tcp_packet(
+            "10.0.0.2", "10.0.0.1", 80, ep.local_port, flags="S", seq=5000,
+            load=b"\x99\x88\x77",
+        )
+        client.receive(dup)
+        sched.run(until=sched.now + 0.2)
+        assert bytes(ep.received) == b""
+        new_packets = sent_by(net.trace, "client")[already_sent:]
+        assert any(p.flags == "A" for p in new_packets)
+
+    def test_server_side_simopen_full_exchange(self, linked_hosts):
+        """End-to-end: server's SYN+ACK replaced by RST+SYN on the wire
+        still yields a working connection (Strategy 1's client view)."""
+        from repro.core import deployed_strategy, install_strategy
+
+        pair = linked_hosts()
+        install_strategy(pair.server, deployed_strategy(1), random.Random(9))
+
+        def on_accept(endpoint):
+            endpoint.on_data = lambda data: (endpoint.send(b"ok"), endpoint.close())
+
+        pair.server.listen(80, on_accept)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_established = lambda: ep.send(b"request")
+        ep.connect()
+        pair.run()
+        assert bytes(ep.received) == b"ok"
+        assert ep.simultaneous_open_used

@@ -1,0 +1,115 @@
+"""Tests for connection teardown state transitions."""
+
+from repro.tcpstack import states
+
+
+def echo_close_server(pair, port=80):
+    """Server that answers one request and then closes."""
+
+    def on_accept(endpoint):
+        def on_data(data):
+            endpoint.send(b"bye")
+            endpoint.close()
+
+        endpoint.on_data = on_data
+
+    pair.server.listen(port, on_accept)
+
+
+class TestActiveClose:
+    def test_client_initiated_close(self, linked_hosts):
+        """Client closes first: FIN_WAIT states, then the server's FIN."""
+        pair = linked_hosts()
+        accepted = []
+        pair.server.listen(80, accepted.append)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run(until=0.2)
+        assert ep.established
+        ep.close()
+        pair.run(until=0.5)
+        assert ep.state == states.FIN_WAIT_2  # our FIN acked, peer still open
+        server_ep = accepted[0]
+        assert server_ep.state == states.CLOSE_WAIT
+        server_ep.close()
+        pair.run(until=1.0)
+        assert ep.state == states.TIME_WAIT
+        assert server_ep.state == states.CLOSED
+
+    def test_passive_close_full_cycle(self, linked_hosts):
+        """Server closes after responding; client acks and closes back."""
+        pair = linked_hosts()
+        echo_close_server(pair)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_established = lambda: ep.send(b"hi")
+        ep.on_remote_close = ep.close
+        ep.connect()
+        pair.run()
+        assert ep.state == states.CLOSED
+        assert bytes(ep.received) == b"bye"
+
+    def test_data_before_fin_all_delivered(self, linked_hosts):
+        """A FIN following queued data never truncates the stream."""
+        pair = linked_hosts()
+
+        def on_accept(endpoint):
+            def on_data(data):
+                endpoint.send(b"A" * 3000)  # multiple segments
+                endpoint.close()
+
+            endpoint.on_data = on_data
+
+        pair.server.listen(80, on_accept)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.on_established = lambda: ep.send(b"go")
+        ep.connect()
+        pair.run()
+        assert bytes(ep.received) == b"A" * 3000
+
+    def test_send_after_close_rejected(self, linked_hosts):
+        import pytest
+
+        pair = linked_hosts()
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.close()
+        with pytest.raises(RuntimeError):
+            ep.send(b"too late")
+
+    def test_abort_sends_rst(self, linked_hosts):
+        pair = linked_hosts()
+        pair.server.listen(80, lambda endpoint: None)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run(until=0.2)
+        ep.abort()
+        trace = pair.run(until=0.4)
+        rsts = [
+            e.packet
+            for e in trace.events
+            if e.kind == "send" and e.location == "client" and e.packet.tcp.is_rst
+        ]
+        assert rsts
+        assert ep.state == states.CLOSED
+
+    def test_fin_retransmitted_if_lost(self, linked_hosts):
+        from repro.netsim import Middlebox
+
+        class DropFirstFin(Middlebox):
+            def __init__(self):
+                self.dropped = False
+
+            def process(self, packet, direction, ctx):
+                if packet.tcp.is_fin and not self.dropped:
+                    self.dropped = True
+                    return []
+                return [packet]
+
+        pair = linked_hosts(middleboxes=[DropFirstFin()])
+        accepted = []
+        pair.server.listen(80, accepted.append)
+        ep = pair.client.open_connection("10.0.0.2", 80)
+        ep.connect()
+        pair.run(until=0.2)
+        ep.close()
+        pair.run(until=5.0)
+        assert accepted[0].state == states.CLOSE_WAIT  # FIN eventually arrived

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trial_arguments(self):
+        args = build_parser().parse_args(
+            ["trial", "china", "http", "--strategy", "1", "--seed", "3"]
+        )
+        assert args.command == "trial"
+        assert args.strategy == "1"
+
+    def test_rejects_unknown_country(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trial", "narnia", "http"])
+
+
+class TestCommands:
+    def test_strategies_listing(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "Sim. Open, Injected RST" in out
+        assert "[TCP:flags:SA]" in out
+        assert out.count("\n") >= 22  # 11 strategies, two lines each
+
+    def test_trial_success_exit_code(self, capsys):
+        code = main(["trial", "kazakhstan", "http", "--strategy", "11", "--seed", "1"])
+        assert code == 0
+        assert "evaded:   True" in capsys.readouterr().out
+
+    def test_trial_censored_exit_code(self, capsys):
+        code = main(["trial", "kazakhstan", "http", "--seed", "1"])
+        assert code == 1
+        assert "censored: True" in capsys.readouterr().out
+
+    def test_trial_with_waterfall(self, capsys):
+        main(["trial", "china", "http", "--strategy", "1", "--seed", "3", "--waterfall"])
+        out = capsys.readouterr().out
+        assert "--->" in out
+
+    def test_rates_command(self, capsys):
+        assert main(["rates", "kazakhstan", "http", "--strategy", "9", "--trials", "5"]) == 0
+        assert "100.0%" in capsys.readouterr().out
+
+    def test_strategy_string_accepted(self, capsys):
+        code = main([
+            "trial", "kazakhstan", "http", "--seed", "1",
+            "--strategy", "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/",
+        ])
+        assert code == 0
+
+    def test_invalid_strategy_number(self):
+        with pytest.raises(SystemExit):
+            main(["trial", "china", "http", "--strategy", "99"])
+
+    def test_waterfall_command(self, capsys):
+        assert main(["waterfall", "china", "ftp", "--strategy", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome:" in out
+
+    def test_matrix_command(self, capsys):
+        assert main(["matrix"]) == 0
+        assert "china" in capsys.readouterr().out
+
+    def test_none_country(self, capsys):
+        assert main(["trial", "none", "http", "--seed", "1"]) == 0
+
+    def test_evolve_command(self, capsys):
+        code = main([
+            "evolve", "kazakhstan", "http",
+            "--population", "8", "--generations", "3", "--seed", "1", "--trials", "1",
+        ])
+        assert code == 0
+        assert "best strategy" in capsys.readouterr().out
+
+    def test_client_os_option(self, capsys):
+        code = main([
+            "trial", "none", "http", "--seed", "1",
+            "--client-os", "windows-10-enterprise-17134",
+        ])
+        assert code == 0
+
+
+class TestPcapOption:
+    def test_trial_writes_pcap(self, tmp_path, capsys):
+        path = tmp_path / "trial.pcap"
+        code = main([
+            "trial", "china", "http", "--strategy", "1", "--seed", "3",
+            "--pcap", str(path),
+        ])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.netsim import read_pcap
+
+        packets = read_pcap(str(path))
+        assert len(packets) > 5
+
+    def test_evolve_minimize_flag(self, capsys):
+        code = main([
+            "evolve", "kazakhstan", "http",
+            "--population", "16", "--generations", "10", "--seed", "3",
+            "--trials", "2", "--minimize",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimized:" in out

@@ -1,0 +1,103 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import random
+
+import pytest
+
+import repro
+from repro import Strategy, deployed_strategy, run_trial, success_rate
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must actually work."""
+        result = run_trial("china", "http", deployed_strategy(1), seed=1)
+        assert result.outcome in ("success", "reset", "timeout")
+
+    def test_strategy_accessors(self):
+        assert not repro.strategy(1).is_noop()
+        assert not repro.compat_strategy(9).is_noop()
+        assert repro.NO_EVASION.is_noop()
+        assert len(repro.SERVER_STRATEGIES) == 11
+
+
+class TestEndToEndEvasion:
+    """One representative working strategy per (country, protocol)."""
+
+    @pytest.mark.parametrize(
+        "country,protocol,number,min_rate",
+        [
+            ("china", "http", 1, 0.3),
+            ("china", "http", 2, 0.3),
+            ("china", "dns", 1, 0.6),
+            ("china", "ftp", 5, 0.85),
+            ("china", "https", 2, 0.3),
+            ("china", "smtp", 8, 0.95),
+            ("india", "http", 8, 0.95),
+            ("iran", "http", 8, 0.95),
+            ("iran", "https", 8, 0.95),
+            ("kazakhstan", "http", 9, 0.95),
+            ("kazakhstan", "http", 10, 0.95),
+            ("kazakhstan", "http", 11, 0.95),
+        ],
+    )
+    def test_strategy_evades(self, country, protocol, number, min_rate):
+        rate = success_rate(
+            country, protocol, deployed_strategy(number), trials=30, seed=77
+        )
+        assert rate >= min_rate
+
+    @pytest.mark.parametrize(
+        "country,protocol",
+        [
+            ("china", "http"),
+            ("china", "dns"),
+            ("india", "http"),
+            ("iran", "https"),
+            ("kazakhstan", "http"),
+        ],
+    )
+    def test_no_evasion_mostly_censored(self, country, protocol):
+        rate = success_rate(country, protocol, None, trials=20, seed=78)
+        assert rate <= 0.2
+
+
+class TestStrategyStringPipeline:
+    def test_user_supplied_strategy_string(self):
+        """A downstream user can paste a strategy string and run it."""
+        text = "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/"
+        result = run_trial("kazakhstan", "http", Strategy.parse(text), seed=5)
+        assert result.succeeded
+
+    def test_broken_strategy_breaks_connection_not_library(self):
+        """Dropping every SYN+ACK: the trial fails gracefully."""
+        text = "[TCP:flags:SA]-drop-| \\/"
+        result = run_trial("china", "http", Strategy.parse(text), seed=5)
+        assert result.outcome == "timeout"
+        assert not result.censored
+
+    def test_evolved_strategy_round_trips_into_runner(self):
+        from repro.core.evolution import GenePool, server_side_pool
+
+        pool = server_side_pool()
+        rng = random.Random(12)
+        strategy = Strategy([(pool.random_trigger(rng), pool.random_action(rng))])
+        result = run_trial("china", "http", Strategy.parse(str(strategy)), seed=5)
+        assert result.outcome in ("success", "reset", "timeout", "garbled", "blockpage")
+
+
+class TestCrossCountryIsolation:
+    def test_kz_strategies_do_not_help_in_china(self):
+        """Strategies 9–11 target Kazakhstan's handshake model; China's
+        HTTP box is indifferent to them."""
+        rate = success_rate("china", "http", deployed_strategy(11), trials=30, seed=80)
+        assert rate <= 0.2
+
+    def test_simopen_strategies_do_not_help_in_kazakhstan(self):
+        rate = success_rate(
+            "kazakhstan", "http", deployed_strategy(4), trials=10, seed=81
+        )
+        assert rate == 0.0
