@@ -14,7 +14,9 @@ The package implements the paper's full system in simulation:
 - :mod:`repro.core` — Geneva: the strategy DSL, the wire-level engine,
   the 11 paper strategies, and the genetic algorithm;
 - :mod:`repro.eval` — the experiment harness regenerating every table
-  and figure.
+  and figure;
+- :mod:`repro.runtime` — the batch trial executor (process-pool
+  parallelism, content-addressed result caching, deterministic seeds).
 
 Quickstart::
 
@@ -35,16 +37,21 @@ from .core import (
     strategy,
 )
 from .eval import Trial, TrialResult, run_trial, success_rate
+from .runtime import ResultCache, RunStats, TrialExecutor, TrialSpec, trial_seed
 
 __version__ = "1.0.0"
 
 __all__ = [
     "NO_EVASION",
     "SERVER_STRATEGIES",
+    "ResultCache",
+    "RunStats",
     "Strategy",
     "StrategyEngine",
     "Trial",
+    "TrialExecutor",
     "TrialResult",
+    "TrialSpec",
     "__version__",
     "compat_strategy",
     "deployed_strategy",
@@ -52,4 +59,5 @@ __all__ = [
     "run_trial",
     "strategy",
     "success_rate",
+    "trial_seed",
 ]

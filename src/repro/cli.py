@@ -68,9 +68,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trial's packets to a pcap file (opens in Wireshark)",
     )
 
+    def positive_workers(text):
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    def add_runtime_flags(p):
+        p.add_argument(
+            "--workers", type=positive_workers, default=1,
+            help="worker processes for the trial batch (1 = serial in-process)",
+        )
+        p.add_argument(
+            "--cache", action="store_true",
+            help="enable the on-disk result cache (.repro_cache/)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="enable the on-disk result cache at DIR",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the result cache entirely",
+        )
+        p.add_argument(
+            "--stats", action="store_true",
+            help="print executor counters (trials run, cache hits, wall time)",
+        )
+
     p_rates = sub.add_parser("rates", help="measure a success rate")
     add_target(p_rates)
     p_rates.add_argument("--trials", type=int, default=100)
+    add_runtime_flags(p_rates)
 
     p_water = sub.add_parser("waterfall", help="render a packet waterfall")
     add_target(p_water)
@@ -100,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_matrix = sub.add_parser("matrix", help="measure the censorship matrix")
     p_matrix.add_argument("--seed", type=int, default=0)
+    add_runtime_flags(p_matrix)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate the paper's tables and figures"
@@ -112,8 +142,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="subset of experiments (e.g. table2 figure3)",
     )
+    add_runtime_flags(p_repro)
 
     return parser
+
+
+def _resolve_cache(args, default=None):
+    """Turn the --cache/--cache-dir/--no-cache triplet into a cache arg."""
+    from .runtime import DEFAULT_CACHE_DIR
+
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return args.cache_dir
+    if args.cache:
+        return DEFAULT_CACHE_DIR
+    return default
 
 
 def _resolve_strategy(text: Optional[str]) -> Optional[Strategy]:
@@ -143,13 +187,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "matrix":
-        print(format_matrix(measure_censorship_matrix(seed=args.seed)))
+        from .runtime import TrialExecutor
+
+        executor = TrialExecutor(workers=args.workers, cache=_resolve_cache(args))
+        print(format_matrix(measure_censorship_matrix(seed=args.seed, executor=executor)))
+        if args.stats:
+            print(f"stats: {executor.total_stats.format()}")
         return 0
 
     if args.command == "reproduce":
         from .eval.report import reproduce_all
 
-        written = reproduce_all(args.out, trials=args.trials, only=args.only)
+        # Batch reproduction caches by default (under the output tree) so
+        # re-runs only pay for what changed; --no-cache opts out.
+        import pathlib
+
+        default_cache = str(pathlib.Path(args.out) / ".repro_cache")
+        written = reproduce_all(
+            args.out,
+            trials=args.trials,
+            only=args.only,
+            workers=args.workers,
+            cache=_resolve_cache(args, default=default_cache),
+        )
         print(f"wrote {len(written)} artifacts to {args.out}/")
         return 0
 
@@ -205,6 +265,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if result.succeeded else 1
 
     if args.command == "rates":
+        from .runtime import TrialExecutor
+
+        executor = TrialExecutor(workers=args.workers, cache=_resolve_cache(args))
         rate = success_rate(
             country,
             args.protocol,
@@ -212,12 +275,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             trials=args.trials,
             seed=args.seed,
             client_os=args.client_os,
+            executor=executor,
         )
         label = args.strategy if args.strategy else "no evasion"
         print(
             f"{args.country}/{args.protocol} strategy={label}: "
             f"{rate * 100:.1f}% over {args.trials} trials"
         )
+        if args.stats:
+            print(f"stats: {executor.last_stats.format()}")
         return 0
 
     if args.command == "waterfall":

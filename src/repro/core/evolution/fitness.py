@@ -9,7 +9,6 @@ small.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -34,8 +33,15 @@ class CensorTrialEvaluator:
         country: Censor to train against (e.g. ``"china"``).
         protocol: Application protocol for the censored workload.
         trials: Trials per evaluation (averaged).
-        seed: Base seed; each trial perturbs it deterministically.
+        seed: Base seed; per-trial seeds come from
+            :func:`repro.runtime.trial_seed`.
         side: ``"server"`` (the paper's contribution) or ``"client"``.
+        workers: Worker processes for the trial batch (1 = in-process).
+        cache: Result-cache setting (as in ``success_rate``). The GA
+            re-evaluates surviving individuals every generation, so even
+            the default in-memory layer of an explicit cache pays off.
+        executor: Prebuilt :class:`~repro.runtime.TrialExecutor` shared
+            across evaluations (overrides ``workers``/``cache``).
     """
 
     country: str
@@ -43,23 +49,31 @@ class CensorTrialEvaluator:
     trials: int = 4
     seed: int = 0
     side: str = "server"
+    workers: int = 1
+    cache: Optional[object] = None
+    executor: Optional[object] = None
 
     def __call__(self, strategy: Strategy) -> float:
-        from ...eval.runner import run_trial  # local import: avoids a cycle
+        from ...runtime import TrialExecutor, TrialSpec, trial_seed
 
-        total = 0.0
-        for index in range(self.trials):
-            kwargs = {}
-            if self.side == "server":
-                kwargs["server_strategy"] = strategy
-            else:
-                kwargs["client_strategy"] = strategy
-            result = run_trial(
+        if self.executor is None:
+            self.executor = TrialExecutor(workers=self.workers, cache=self.cache)
+        strategies = (
+            {"server_strategy": strategy}
+            if self.side == "server"
+            else {"client_strategy": strategy}
+        )
+        specs = [
+            TrialSpec.build(
                 self.country,
                 self.protocol,
-                seed=self.seed + index * 1009,
-                **kwargs,
+                seed=trial_seed(self.seed, index),
+                **strategies,
             )
+            for index in range(self.trials)
+        ]
+        total = 0.0
+        for result in self.executor.run_batch(specs):
             if result.succeeded:
                 total += REWARD_SUCCESS
             elif result.censored:

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..runtime import TrialExecutor, TrialSpec, trial_seed
 from .reference import TABLE1_MATRIX
-from .runner import run_trial
 
 __all__ = ["MatrixEntry", "measure_censorship_matrix", "format_matrix"]
 
@@ -31,7 +31,13 @@ class MatrixEntry:
     expected: bool
 
 
-def measure_censorship_matrix(seed: int = 0, probes: int = 5) -> List[MatrixEntry]:
+def measure_censorship_matrix(
+    seed: int = 0,
+    probes: int = 5,
+    workers: int = 1,
+    cache=None,
+    executor: TrialExecutor = None,
+) -> List[MatrixEntry]:
     """Probe every (country, protocol) pair with forbidden requests.
 
     Protocols a country censors use that country's censored workload;
@@ -39,10 +45,19 @@ def measure_censorship_matrix(seed: int = 0, probes: int = 5) -> List[MatrixEntr
     the censor does not react at all. Each pair is probed ``probes`` times
     because some censorship (the GFW's SMTP box) is itself flaky — a pair
     counts as censored when *any* probe is.
+
+    All probes of all pairs are submitted as one batch through a
+    :class:`~repro.runtime.TrialExecutor` (``workers``/``cache`` as in
+    :func:`~repro.eval.runner.success_rate`; pass ``executor`` to share
+    one and read its :class:`~repro.runtime.RunStats`).
     """
     from .runner import censored_workload  # deferred for doc-build friendliness
 
-    entries: List[MatrixEntry] = []
+    if executor is None:
+        executor = TrialExecutor(workers=workers, cache=cache)
+
+    pairs = []
+    specs: List[TrialSpec] = []
     for country, info in TABLE1_MATRIX.items():
         expected_protocols = set(info["protocols"])
         for protocol in ALL_PROTOCOLS:
@@ -52,26 +67,33 @@ def measure_censorship_matrix(seed: int = 0, probes: int = 5) -> List[MatrixEntr
                 # Forbidden content for some censor, but not one this
                 # country inspects on this protocol.
                 workload = censored_workload("china", protocol)
-            censored = False
-            for probe in range(probes):
-                result = run_trial(
+            pairs.append((country, protocol, protocol in expected_protocols))
+            specs.extend(
+                TrialSpec.build(
                     country,
                     protocol,
                     None,
-                    seed=seed + probe * 7919,
+                    seed=trial_seed(seed, probe),
                     workload=dict(workload),
                 )
-                if result.censored or not result.succeeded:
-                    censored = True
-                    break
-            entries.append(
-                MatrixEntry(
-                    country=country,
-                    protocol=protocol,
-                    censored=censored,
-                    expected=protocol in expected_protocols,
-                )
+                for probe in range(probes)
             )
+
+    results = executor.run_batch(specs)
+    entries: List[MatrixEntry] = []
+    for index, (country, protocol, expected) in enumerate(pairs):
+        probe_results = results[index * probes : (index + 1) * probes]
+        censored = any(
+            result.censored or not result.succeeded for result in probe_results
+        )
+        entries.append(
+            MatrixEntry(
+                country=country,
+                protocol=protocol,
+                censored=censored,
+                expected=expected,
+            )
+        )
     return entries
 
 

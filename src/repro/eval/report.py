@@ -14,16 +14,16 @@ from typing import Callable, Dict, List, Optional
 __all__ = ["reproduce_all", "EXPERIMENTS"]
 
 
-def _table1() -> str:
+def _table1(executor=None) -> str:
     from .matrix import format_matrix, measure_censorship_matrix
 
-    return format_matrix(measure_censorship_matrix(seed=0))
+    return format_matrix(measure_censorship_matrix(seed=0, executor=executor))
 
 
-def _table2(trials: int) -> str:
+def _table2(trials: int, executor=None) -> str:
     from .table2 import format_table2, generate_table2
 
-    return format_table2(generate_table2(trials=trials, seed=0))
+    return format_table2(generate_table2(trials=trials, seed=0, executor=executor))
 
 
 def _figure1() -> str:
@@ -120,17 +120,18 @@ def _sweeps(trials: int) -> str:
     return "\n\n".join(parts)
 
 
-#: Experiment id -> renderer. Scaled renderers take the trial count.
+#: Experiment id -> renderer taking (trials, executor); the executor is
+#: shared across table-style experiments so caching spans the whole run.
 EXPERIMENTS: Dict[str, Callable] = {
-    "table1": lambda trials: _table1(),
+    "table1": lambda trials, executor=None: _table1(executor=executor),
     "table2": _table2,
-    "figure1": lambda trials: _figure1(),
-    "figure2": lambda trials: _figure2(),
-    "figure3": _figure3,
-    "section3": _section3,
-    "section4": _section4,
-    "section7": lambda trials: _section7(),
-    "sweeps": _sweeps,
+    "figure1": lambda trials, executor=None: _figure1(),
+    "figure2": lambda trials, executor=None: _figure2(),
+    "figure3": lambda trials, executor=None: _figure3(trials),
+    "section3": lambda trials, executor=None: _section3(trials),
+    "section4": lambda trials, executor=None: _section4(trials),
+    "section7": lambda trials, executor=None: _section7(),
+    "sweeps": lambda trials, executor=None: _sweeps(trials),
 }
 
 
@@ -139,11 +140,19 @@ def reproduce_all(
     trials: int = 150,
     only: Optional[List[str]] = None,
     echo: Callable[[str], None] = print,
+    workers: int = 1,
+    cache=None,
 ) -> List[str]:
     """Regenerate the selected artifacts into ``out_dir``.
 
-    Returns the list of files written.
+    ``workers``/``cache`` configure one shared
+    :class:`~repro.runtime.TrialExecutor` for the batch-style experiments
+    (currently Tables 1 and 2); its cumulative :class:`RunStats` are
+    echoed at the end. Returns the list of files written.
     """
+    from ..runtime import TrialExecutor
+
+    executor = TrialExecutor(workers=workers, cache=cache)
     directory = pathlib.Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)
     wanted = only if only else list(EXPERIMENTS)
@@ -155,9 +164,11 @@ def reproduce_all(
                 f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
             )
         echo(f"[{name}] running ...")
-        text = renderer(trials)
+        text = renderer(trials, executor=executor)
         path = directory / f"{name}.txt"
         path.write_text(text + "\n")
         written.append(str(path))
         echo(f"[{name}] wrote {path}")
+    if executor.total_stats.requested:
+        echo(f"[stats] {executor.total_stats.format()}")
     return written

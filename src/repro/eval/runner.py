@@ -297,13 +297,39 @@ def success_rate(
     server_strategy: Optional[Strategy],
     trials: int = 100,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
+    executor=None,
     **kwargs,
 ) -> float:
-    """Fraction of ``trials`` independent runs that evade censorship."""
-    successes = 0
-    for index in range(trials):
-        result = run_trial(
-            country, protocol, server_strategy, seed=seed + index * 7919, **kwargs
+    """Fraction of ``trials`` independent runs that evade censorship.
+
+    Per-trial seeds are derived from ``(seed, index)`` via
+    :func:`repro.runtime.trial_seed`; results are therefore identical
+    whatever the execution mode. ``workers`` fans trials out over a
+    process pool, ``cache`` enables the content-addressed result store
+    (``True`` → ``.repro_cache/``, or a path / ``ResultCache``), and
+    ``executor`` supplies a prebuilt :class:`~repro.runtime.TrialExecutor`
+    (overriding both) so callers can share one across batches and read
+    its :class:`~repro.runtime.RunStats`. Arguments that cannot be
+    expressed as picklable specs (live censor instances, middlebox
+    objects, ...) fall back to an in-process loop over the same seeds.
+    """
+    from ..runtime import SpecError, TrialExecutor, TrialSpec, trial_seed
+
+    seeds = [trial_seed(seed, index) for index in range(trials)]
+    try:
+        specs = [
+            TrialSpec.build(country, protocol, server_strategy, seed=s, **kwargs)
+            for s in seeds
+        ]
+    except SpecError:
+        successes = sum(
+            run_trial(country, protocol, server_strategy, seed=s, **kwargs).succeeded
+            for s in seeds
         )
-        successes += result.succeeded
-    return successes / trials
+        return successes / trials
+    if executor is None:
+        executor = TrialExecutor(workers=workers, cache=cache)
+    results = executor.run_batch(specs)
+    return sum(result.succeeded for result in results) / trials

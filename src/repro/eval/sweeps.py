@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Sequence
 from ..censors import CHINA_PROFILES, GreatFirewall
 from ..censors.gfw.profiles import EVENT_RST
 from ..core import Strategy, deployed_strategy
-from .runner import Trial, run_trial
+from ..runtime import trial_seed
+from .runner import Trial, run_trial, success_rate
 
 __all__ = [
     "window_size_sweep",
@@ -57,6 +58,8 @@ def window_size_sweep(
     protocol: str = "http",
     trials: int = 10,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
 ) -> Dict[int, float]:
     """Success rate of window reduction as the window grows.
 
@@ -67,11 +70,10 @@ def window_size_sweep(
     rates: Dict[int, float] = {}
     for window in windows:
         strategy = window_reduction_strategy(window)
-        wins = sum(
-            run_trial(country, protocol, strategy, seed=seed + i * 101).succeeded
-            for i in range(trials)
+        rates[window] = success_rate(
+            country, protocol, strategy, trials=trials, seed=seed,
+            workers=workers, cache=cache,
         )
-        rates[window] = wins / trials
     return rates
 
 
@@ -93,12 +95,14 @@ def resync_probability_sweep(
             profiles[name] = dataclasses.replace(profile, event_probs=events)
         wins = 0
         for index in range(trials):
-            trial_seed = seed + index * 7919
+            # Custom censor instances are live objects, so this sweep
+            # stays in-process — but it shares the batch seed derivation.
+            per_trial = trial_seed(seed, index)
             censor = GreatFirewall(
-                rng=random.Random(trial_seed ^ 0x5E5), profiles=profiles
+                rng=random.Random(per_trial ^ 0x5E5), profiles=profiles
             )
             wins += run_trial(
-                "china", protocol, strategy, seed=trial_seed, censor=censor
+                "china", protocol, strategy, seed=per_trial, censor=censor
             ).succeeded
         rates[probability] = wins / trials
     return rates
@@ -158,6 +162,8 @@ def censor_hop_sweep(
     trials: int = 60,
     seed: int = 0,
     server_hop: int = 10,
+    workers: int = 1,
+    cache=None,
 ) -> Dict[int, float]:
     """Strategy success as the censor moves along the path.
 
@@ -168,18 +174,17 @@ def censor_hop_sweep(
     rates: Dict[int, float] = {}
     strategy = deployed_strategy(strategy_number)
     for hop in hops:
-        wins = sum(
-            run_trial(
-                "china",
-                protocol,
-                strategy,
-                seed=seed + i * 7919,
-                censor_hop=hop,
-                server_hop=server_hop,
-            ).succeeded
-            for i in range(trials)
+        rates[hop] = success_rate(
+            "china",
+            protocol,
+            strategy,
+            trials=trials,
+            seed=seed,
+            workers=workers,
+            cache=cache,
+            censor_hop=hop,
+            server_hop=server_hop,
         )
-        rates[hop] = wins / trials
     return rates
 
 

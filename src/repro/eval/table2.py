@@ -55,8 +55,21 @@ def generate_table2(
     seed: int = 0,
     countries: Optional[List[str]] = None,
     china_protocols: Tuple[str, ...] = CHINA_PROTOCOLS,
+    workers: int = 1,
+    cache=None,
+    executor=None,
 ) -> List[Table2Cell]:
-    """Measure every Table 2 cell; returns cells in table order."""
+    """Measure every Table 2 cell; returns cells in table order.
+
+    One :class:`~repro.runtime.TrialExecutor` is shared across all cells
+    so the result cache and run counters span the whole table
+    (``workers``/``cache``/``executor`` as in
+    :func:`~repro.eval.runner.success_rate`).
+    """
+    from ..runtime import TrialExecutor
+
+    if executor is None:
+        executor = TrialExecutor(workers=workers, cache=cache)
     wanted = countries if countries is not None else ["china", "india", "iran", "kazakhstan"]
     cells: List[Table2Cell] = []
     if "china" in wanted:
@@ -68,6 +81,7 @@ def generate_table2(
                     _strategy_for(number),
                     trials=trials,
                     seed=seed + number * 1_000_003,
+                    executor=executor,
                 )
                 cells.append(
                     Table2Cell("china", number, protocol, rate, paper_rate("china", number, protocol))
@@ -81,6 +95,7 @@ def generate_table2(
             _strategy_for(number),
             trials=max(10, trials // 5),  # deterministic censors need few trials
             seed=seed + number * 31,
+            executor=executor,
         )
         cells.append(
             Table2Cell(country, number, protocol, rate, paper_rate(country, number, protocol))

@@ -113,12 +113,28 @@ def waterfall_for_trial(
     strategy,
     seed: int = 1,
     title: str = "",
+    executor=None,
     **kwargs,
 ) -> str:
-    """Run one trial and render its waterfall (used by Figures 1 and 2)."""
-    from .runner import run_trial  # local import avoids a module cycle
+    """Run one trial and render its waterfall (used by Figures 1 and 2).
 
-    result = run_trial(country, protocol, strategy, seed=seed, **kwargs)
+    The trial routes through the runtime's :class:`TrialSpec` (so seeds
+    and strategy serialization match the batch executors exactly), but
+    always executes in-process with the trace kept — traces are the
+    whole point here and never live in the result cache.
+    """
+    from ..runtime import SpecError, TrialExecutor, TrialSpec
+
+    try:
+        spec = TrialSpec.build(country, protocol, strategy, seed=seed, **kwargs)
+    except SpecError:  # live objects in kwargs: run directly
+        from .runner import run_trial  # local import avoids a module cycle
+
+        result = run_trial(country, protocol, strategy, seed=seed, **kwargs)
+    else:
+        if executor is None:
+            executor = TrialExecutor()
+        result = executor.run_one(spec, keep_trace=True)
     prefix = title if title else f"{country}/{protocol}"
     heading = f"{prefix} — outcome: {result.outcome}"
     return render_waterfall(result.trace, title=heading)

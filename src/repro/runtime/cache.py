@@ -1,0 +1,186 @@
+"""Content-addressed trial-result cache.
+
+Results are keyed on ``TrialSpec.spec_hash()`` — a SHA-256 of the spec's
+canonical JSON — with two layers:
+
+- an in-memory LRU (per-process, always on), and
+- an optional on-disk JSON store (one file per result under a cache
+  directory, default ``.repro_cache/``) that persists across runs so a
+  repeated matrix/sweep/GA evaluation re-executes nothing.
+
+Disk entries embed the full canonical key next to the result. A lookup
+only counts as a hit when the stored key both hashes back to the file's
+address *and* equals the requesting spec's key — a poisoned or corrupt
+entry is therefore detected and ignored rather than silently served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .spec import TrialSpec
+
+__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR", "resolve_cache"]
+
+#: Default on-disk store location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance (cumulative)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    poisoned: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "poisoned": self.poisoned,
+        }
+
+
+def _payload_sha(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def result_payload(result) -> Dict[str, Any]:
+    """The JSON-able portion of a TrialResult (the trace never travels)."""
+    return {
+        "outcome": result.outcome,
+        "succeeded": bool(result.succeeded),
+        "censored": bool(result.censored),
+        "detail": result.detail,
+    }
+
+
+def payload_result(payload: Dict[str, Any]):
+    """Rebuild a TrialResult (trace-free) from a stored payload."""
+    from ..eval.runner import TrialResult
+
+    return TrialResult(
+        outcome=payload["outcome"],
+        succeeded=bool(payload["succeeded"]),
+        censored=bool(payload["censored"]),
+        detail=payload.get("detail", ""),
+        trace=None,
+    )
+
+
+class ResultCache:
+    """Two-layer (memory LRU + optional disk) trial-result cache."""
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        max_memory_items: int = 65536,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.max_memory_items = max_memory_items
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def _disk_path(self, digest: str) -> Path:
+        # Two-level fan-out keeps directories small at scale.
+        return self.directory / digest[:2] / f"{digest}.json"
+
+    def _remember(self, digest: str, payload: Dict[str, Any]) -> None:
+        self._memory[digest] = payload
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.max_memory_items:
+            self._memory.popitem(last=False)
+
+    def _load_disk(self, digest: str, key: str) -> Optional[Dict[str, Any]]:
+        if self.directory is None:
+            return None
+        path = self._disk_path(digest)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        stored_key = entry.get("spec")
+        stored_hash = hashlib.sha256(
+            str(stored_key).encode("utf-8")
+        ).hexdigest()
+        if stored_key != key or stored_hash != digest:
+            # Poisoned/corrupt entry: the content does not address itself.
+            self.stats.poisoned += 1
+            return None
+        payload = entry.get("result")
+        if not isinstance(payload, dict) or "outcome" not in payload:
+            self.stats.poisoned += 1
+            return None
+        if entry.get("result_sha") != _payload_sha(payload):
+            # The result bytes were edited after the entry was written.
+            self.stats.poisoned += 1
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, spec: TrialSpec):
+        """Return the cached TrialResult for ``spec``, or ``None``."""
+        digest = spec.spec_hash()
+        payload = self._memory.get(digest)
+        if payload is not None:
+            self._memory.move_to_end(digest)
+            self.stats.hits += 1
+            return payload_result(payload)
+        payload = self._load_disk(digest, spec.canonical_key())
+        if payload is not None:
+            self._remember(digest, payload)
+            self.stats.hits += 1
+            return payload_result(payload)
+        self.stats.misses += 1
+        return None
+
+    def store(self, spec: TrialSpec, result) -> None:
+        """Record ``result`` for ``spec`` in memory (and on disk if set)."""
+        digest = spec.spec_hash()
+        payload = result_payload(result)
+        self._remember(digest, payload)
+        self.stats.stores += 1
+        if self.directory is None:
+            return
+        path = self._disk_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "spec": spec.canonical_key(),
+            "result": payload,
+            "result_sha": _payload_sha(payload),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)  # atomic publish: concurrent readers never
+        # observe a half-written entry
+
+
+def resolve_cache(cache) -> Optional[ResultCache]:
+    """Normalize a user-facing ``cache=`` argument.
+
+    ``None``/``False`` → no cache; ``True`` → disk store under the
+    default directory; a string/path → disk store there; a
+    :class:`ResultCache` instance → itself.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache(DEFAULT_CACHE_DIR)
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    raise TypeError(f"cache must be None/bool/path/ResultCache, got {cache!r}")

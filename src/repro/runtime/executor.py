@@ -1,0 +1,239 @@
+"""Batch trial execution: serial, parallel, and cached.
+
+:class:`TrialExecutor` takes batches of :class:`~repro.runtime.spec.TrialSpec`
+and returns their :class:`~repro.eval.runner.TrialResult` outcomes in
+submission order. Three properties are load-bearing:
+
+- **Determinism** — every spec carries its own seed, so results do not
+  depend on worker count, scheduling, or completion order. The
+  ``workers=1`` path runs in-process with no multiprocessing machinery
+  at all (and is also the fallback on platforms without ``fork`` when
+  ``spawn`` is unavailable).
+- **Parallelism** — ``workers>1`` fans specs out over a process pool.
+  Trials are embarrassingly parallel (independent seeds, discrete-event
+  simulation), so speedup tracks available cores.
+- **Caching** — an optional :class:`~repro.runtime.cache.ResultCache` is
+  consulted per spec before execution; hits skip the trial entirely and
+  misses are stored back, so repeated matrix/sweep/GA runs converge to
+  zero executions.
+
+Observability: every batch produces a :class:`RunStats` with requested /
+executed / cache-hit counters, wall time, per-worker trial counts, and a
+busy-time utilization estimate; executors also accumulate totals.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .cache import ResultCache, payload_result, result_payload, resolve_cache
+from .spec import TrialSpec
+
+__all__ = ["RunStats", "TrialExecutor"]
+
+
+@dataclass
+class RunStats:
+    """Counters for one batch (or, merged, for an executor's lifetime).
+
+    Attributes:
+        requested: Specs submitted to the batch.
+        executed: Trials actually run (cache misses).
+        cache_hits: Trials served from the result cache.
+        wall_time: Batch wall-clock seconds.
+        busy_time: Summed per-trial execution seconds across workers.
+        workers: Worker processes used (1 = in-process serial).
+        per_worker: Trials executed per worker, keyed by pid.
+    """
+
+    requested: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    wall_time: float = 0.0
+    busy_time: float = 0.0
+    workers: int = 1
+    per_worker: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker wall-time capacity spent running trials."""
+        if self.wall_time <= 0.0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (self.wall_time * self.workers))
+
+    def merge(self, other: "RunStats") -> None:
+        """Fold another batch's counters into this one."""
+        self.requested += other.requested
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.wall_time += other.wall_time
+        self.busy_time += other.busy_time
+        self.workers = max(self.workers, other.workers)
+        for pid, count in other.per_worker.items():
+            self.per_worker[pid] = self.per_worker.get(pid, 0) + count
+
+    def format(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"trials={self.requested} executed={self.executed} "
+            f"cache_hits={self.cache_hits} workers={self.workers} "
+            f"wall={self.wall_time:.2f}s utilization={self.utilization:.0%}"
+        )
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one spec payload, return a result payload.
+
+    Module-level (not a closure) so it pickles under both ``fork`` and
+    ``spawn`` start methods.
+    """
+    spec = TrialSpec(
+        country=payload["country"],
+        protocol=payload["protocol"],
+        server_strategy=payload["server_strategy"],
+        seed=payload["seed"],
+        client_strategy=payload["client_strategy"],
+        options=payload["options"],
+    )
+    start = time.perf_counter()
+    result = spec.run()
+    duration = time.perf_counter() - start
+    out = result_payload(result)
+    out["_duration"] = duration
+    out["_pid"] = os.getpid()
+    return out
+
+
+def _preferred_start_method() -> Optional[str]:
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "forkserver", "spawn"):
+        if method in methods:
+            return method
+    return None
+
+
+class TrialExecutor:
+    """Runs batches of trial specs, optionally in parallel and cached.
+
+    Args:
+        workers: Worker processes; ``1`` (the default) executes in-process
+            and is bit-identical to the historical serial loop.
+        cache: ``None`` (off), ``True`` (disk store under
+            ``.repro_cache/``), a directory path, or a
+            :class:`ResultCache` instance.
+        start_method: Force a multiprocessing start method (tests);
+            default picks ``fork`` where available.
+
+    The worker pool is created lazily on the first parallel batch and
+    **reused** across batches, so callers that issue many small batches
+    through one executor (``generate_table2`` makes one ``success_rate``
+    call per cell) pay pool start-up once, not per call. Call
+    :meth:`close` — or use the executor as a context manager — to tear
+    the pool down deterministically; otherwise it is reclaimed with the
+    executor.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache=None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache: Optional[ResultCache] = resolve_cache(cache)
+        self._start_method = start_method
+        self._pool = None
+        self.last_stats = RunStats()
+        self.total_stats = RunStats()
+
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def run_one(self, spec: TrialSpec, keep_trace: bool = False):
+        """Run a single spec in-process (cached unless a trace is kept).
+
+        Trace-bearing results never touch the cache: the cache stores
+        only the JSON-able outcome, and serving a trace-free hit to a
+        caller that asked for the trace would be wrong.
+        """
+        if keep_trace:
+            return spec.run(keep_trace=True)
+        results = self.run_batch([spec])
+        return results[0]
+
+    def run_batch(self, specs: Sequence[TrialSpec]) -> List:
+        """Execute ``specs`` and return results in submission order."""
+        start = time.perf_counter()
+        stats = RunStats(requested=len(specs), workers=self.workers)
+        results: List[Any] = [None] * len(specs)
+
+        pending: List[int] = []
+        for position, spec in enumerate(specs):
+            cached = self.cache.lookup(spec) if self.cache is not None else None
+            if cached is not None:
+                results[position] = cached
+                stats.cache_hits += 1
+            else:
+                pending.append(position)
+
+        if pending:
+            payloads = [specs[position].as_dict() for position in pending]
+            if self.workers == 1 or len(pending) == 1:
+                outs = [_execute_payload(payload) for payload in payloads]
+                stats.workers = 1
+            else:
+                outs = self._run_pool(payloads)
+            for position, out in zip(pending, outs):
+                stats.executed += 1
+                stats.busy_time += out.pop("_duration", 0.0)
+                pid = str(out.pop("_pid", os.getpid()))
+                stats.per_worker[pid] = stats.per_worker.get(pid, 0) + 1
+                result = payload_result(out)
+                results[position] = result
+                if self.cache is not None:
+                    self.cache.store(specs[position], result)
+
+        stats.wall_time = time.perf_counter() - start
+        self.last_stats = stats
+        self.total_stats.merge(stats)
+        return results
+
+    def _get_pool(self):
+        if self._pool is None:
+            method = self._start_method or _preferred_start_method()
+            if method is None:  # no multiprocessing at all on this platform
+                return None
+            context = multiprocessing.get_context(method)
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def _run_pool(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        pool = self._get_pool()
+        if pool is None:
+            return [_execute_payload(payload) for payload in payloads]
+        chunksize = max(1, len(payloads) // (self.workers * 4))
+        return pool.map(_execute_payload, payloads, chunksize=chunksize)

@@ -1,0 +1,164 @@
+"""Picklable trial descriptions.
+
+A :class:`TrialSpec` captures *everything* that determines a trial's
+outcome — country, protocol, the strategy DSL strings, the seed, and any
+extra :class:`~repro.eval.runner.Trial` options — as plain JSON-able
+data. That buys three things at once:
+
+- specs can cross a ``multiprocessing`` boundary to worker processes;
+- specs have a canonical string form, so a content-addressed cache can
+  key results on ``sha256(canonical_key)``;
+- serial and parallel execution run literally the same description, so
+  parity is structural rather than hoped-for.
+
+Strategies are carried as their Geneva DSL strings (``str(strategy)``
+round-trips by construction — see ``tests/core/test_parser_property.py``),
+which is also what makes the cache key stable across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["SpecError", "TrialSpec", "strategy_text"]
+
+
+class SpecError(ValueError):
+    """Raised when trial arguments cannot be represented as a spec
+    (e.g. a live censor instance or middlebox objects were passed)."""
+
+
+def strategy_text(strategy: Any) -> Optional[str]:
+    """Canonical DSL text for a strategy argument (str/Strategy/None)."""
+    if strategy is None:
+        return None
+    if isinstance(strategy, str):
+        return strategy
+    text = str(strategy)
+    if not hasattr(strategy, "apply_outbound"):
+        raise SpecError(f"not a strategy: {strategy!r}")
+    return text
+
+
+def _ensure_jsonable(value: Any, path: str) -> None:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _ensure_jsonable(item, f"{path}[{i}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SpecError(f"non-string key {key!r} at {path}")
+            _ensure_jsonable(item, f"{path}.{key}")
+        return
+    raise SpecError(f"option {path} = {value!r} is not JSON-representable")
+
+
+@dataclass
+class TrialSpec:
+    """One trial, fully described as picklable data.
+
+    Attributes:
+        country: Censor country or ``None`` for no censor.
+        protocol: Application protocol (``"http"``, ``"dns"``, ...).
+        server_strategy: Server-side strategy DSL text, or ``None``.
+        seed: The exact per-trial seed (already derived; specs do not
+            fan seeds out themselves).
+        client_strategy: Client-side strategy DSL text, or ``None``.
+        options: Extra keyword arguments for
+            :class:`~repro.eval.runner.Trial` (JSON-able values only).
+    """
+
+    country: Optional[str]
+    protocol: str
+    server_strategy: Optional[str] = None
+    seed: int = 0
+    client_strategy: Optional[str] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        country: Optional[str],
+        protocol: str,
+        server_strategy: Any = None,
+        seed: int = 0,
+        client_strategy: Any = None,
+        **kwargs: Any,
+    ) -> "TrialSpec":
+        """Build a spec from ``run_trial``-style arguments.
+
+        Raises :class:`SpecError` when any argument cannot be expressed
+        as picklable data (callers then fall back to in-process
+        execution with live objects).
+        """
+        _ensure_jsonable(kwargs, "options")
+        return cls(
+            country=country,
+            protocol=protocol,
+            server_strategy=strategy_text(server_strategy),
+            seed=seed,
+            client_strategy=strategy_text(client_strategy),
+            options=dict(kwargs),
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical form / hashing
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (also the multiprocessing payload)."""
+        return {
+            "country": self.country,
+            "protocol": self.protocol,
+            "server_strategy": self.server_strategy,
+            "client_strategy": self.client_strategy,
+            "seed": self.seed,
+            "options": self.options,
+        }
+
+    def canonical_key(self) -> str:
+        """Deterministic string form: sorted-key compact JSON."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """Content address of this spec (SHA-256 of the canonical key)."""
+        return hashlib.sha256(self.canonical_key().encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self, keep_trace: bool = False):
+        """Execute this trial and return its :class:`TrialResult`.
+
+        The packet trace is dropped unless ``keep_trace`` is set: traces
+        hold full packet copies, which batch consumers never need and
+        which must not cross process or cache boundaries.
+        """
+        import copy
+
+        from ..core import Strategy
+        from ..eval.runner import run_trial
+
+        server = (
+            Strategy.parse(self.server_strategy)
+            if self.server_strategy is not None
+            else None
+        )
+        # Deep copy: Trial mutates nested options (e.g. it writes the DNS
+        # try count into the workload dict), and the spec must stay
+        # byte-stable so its content hash is the same before and after
+        # execution.
+        kwargs = copy.deepcopy(self.options)
+        if self.client_strategy is not None:
+            kwargs["client_strategy"] = Strategy.parse(self.client_strategy)
+        result = run_trial(
+            self.country, self.protocol, server, seed=self.seed, **kwargs
+        )
+        if not keep_trace:
+            result.trace = None
+        return result

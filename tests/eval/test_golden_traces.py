@@ -1,0 +1,111 @@
+"""Golden-trace regression tests for trial wire behaviour.
+
+For one representative evading strategy per country, the full packet-
+trace summary of a fixed-seed trial — every endpoint send (direction,
+flags, payload size), every censor injection, every censor verdict, and
+every censor drop — is pinned byte-for-byte in ``tests/golden/``. Any
+refactor of the executor, TCP stack, engine, or censors that changes
+wire behaviour trips these tests instead of silently shifting results.
+
+Regenerate deliberately with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/eval/test_golden_traces.py
+
+and review the diff like any other code change.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.core import deployed_strategy
+from repro.eval import run_trial
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
+
+#: (name, country, protocol, strategy number, seed) — one per country.
+CASES = [
+    ("china_http_strategy1", "china", "http", 1, 3),
+    ("india_http_strategy8", "india", "http", 8, 1),
+    ("iran_https_strategy8", "iran", "https", 8, 1),
+    ("kazakhstan_http_strategy11", "kazakhstan", "http", 11, 1),
+]
+
+
+def summarize(result) -> dict:
+    """Deterministic, JSON-able summary of a trial's wire behaviour."""
+    events = []
+    for event in result.trace.events:
+        packet = event.packet
+        if event.kind == "send" and event.location in ("client", "server"):
+            events.append(
+                {
+                    "kind": "send",
+                    "from": event.location,
+                    "flags": packet.flags if not packet.is_udp else "UDP",
+                    "len": len(packet.load),
+                }
+            )
+        elif event.kind == "inject":
+            events.append(
+                {
+                    "kind": "inject",
+                    "at": event.location,
+                    "flags": packet.flags if not packet.is_udp else "UDP",
+                    "len": len(packet.load),
+                    "toward_client": "toward client" in event.detail,
+                }
+            )
+        elif event.kind == "censor":
+            events.append(
+                {"kind": "censor", "at": event.location, "verdict": event.detail}
+            )
+        elif event.kind == "drop" and packet is not None:
+            events.append(
+                {
+                    "kind": "drop",
+                    "at": event.location,
+                    "flags": packet.flags if not packet.is_udp else "UDP",
+                    "detail": event.detail,
+                }
+            )
+    return {
+        "outcome": result.outcome,
+        "succeeded": result.succeeded,
+        "censored": result.censored,
+        "events": events,
+    }
+
+
+def run_case(country, protocol, number, seed):
+    return run_trial(country, protocol, deployed_strategy(number), seed=seed)
+
+
+@pytest.mark.parametrize("name,country,protocol,number,seed", CASES)
+def test_golden_trace(name, country, protocol, number, seed):
+    summary = summarize(run_case(country, protocol, number, seed))
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    golden = json.loads(path.read_text())
+    assert summary == golden, (
+        f"wire behaviour of {name} changed; if intentional, regenerate "
+        f"with REPRO_UPDATE_GOLDENS=1 and review the diff"
+    )
+
+
+@pytest.mark.parametrize("name,country,protocol,number,seed", CASES)
+def test_golden_cases_still_evade(name, country, protocol, number, seed):
+    """The pinned cases are all *successful* evasions — a golden that
+    stops succeeding is a behaviour change even if the trace matches."""
+    assert run_case(country, protocol, number, seed).succeeded
+
+
+def test_goldens_are_committed():
+    missing = [
+        name for name, *_ in CASES if not (GOLDEN_DIR / f"{name}.json").exists()
+    ]
+    assert not missing, f"golden files missing: {missing}"

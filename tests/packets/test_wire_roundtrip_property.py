@@ -1,0 +1,172 @@
+"""Property-based wire round-trip tests for the whole packet model.
+
+For arbitrary generated packets — TCP and UDP over IPv4 and IPv6 —
+``serialize -> parse -> serialize`` must be the identity on wire bytes,
+and recomputed checksums must verify after any field mutation (the
+engine relies on this: tampered packets go to the wire with *valid*
+checksums unless a strategy explicitly corrupts them).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packets import (
+    Packet,
+    TCP_FLAG_LETTERS,
+    make_tcp_packet,
+    make_udp_packet,
+)
+
+ports = st.integers(1, 65535)
+seqs = st.integers(0, 2**32 - 1)
+loads = st.binary(max_size=64)
+ttls = st.integers(1, 255)
+windows = st.integers(0, 65535)
+flag_strings = st.sets(st.sampled_from(TCP_FLAG_LETTERS)).map("".join)
+option_lists = st.lists(
+    st.one_of(
+        st.tuples(st.just("mss"), st.integers(0, 65535)),
+        st.tuples(st.just("wscale"), st.integers(0, 14)),
+        st.tuples(st.just("sackok"), st.none()),
+        st.tuples(st.just("nop"), st.none()),
+        st.tuples(st.just("timestamp"), st.tuples(seqs, seqs)),
+    ),
+    max_size=4,
+).map(list)
+
+v4_hosts = st.integers(1, 254)
+v6_tails = st.integers(1, 0xFFFF)
+
+
+def v4_pair(a, b):
+    return f"10.0.0.{a}", f"192.0.2.{b}"
+
+
+def v6_pair(a, b):
+    return f"2001:db8:1::{a:x}", f"2001:db8:ffff::{b:x}"
+
+
+@st.composite
+def tcp_packets(draw, v6=False):
+    a, b = (
+        (draw(v6_tails), draw(v6_tails)) if v6 else (draw(v4_hosts), draw(v4_hosts))
+    )
+    src, dst = v6_pair(a, b) if v6 else v4_pair(a, b)
+    return make_tcp_packet(
+        src,
+        dst,
+        draw(ports),
+        draw(ports),
+        flags=draw(flag_strings),
+        seq=draw(seqs),
+        ack=draw(seqs),
+        load=draw(loads),
+        window=draw(windows),
+        ttl=draw(ttls),
+        options=draw(option_lists),
+    )
+
+
+@st.composite
+def udp_packets(draw, v6=False):
+    a, b = (
+        (draw(v6_tails), draw(v6_tails)) if v6 else (draw(v4_hosts), draw(v4_hosts))
+    )
+    src, dst = v6_pair(a, b) if v6 else v4_pair(a, b)
+    return make_udp_packet(
+        src, dst, draw(ports), draw(ports), load=draw(loads), ttl=draw(ttls)
+    )
+
+
+class TestSerializeParseSerialize:
+    @given(tcp_packets())
+    @settings(max_examples=150)
+    def test_tcp_ipv4_identity(self, packet):
+        wire = packet.serialize()
+        again = Packet.parse(wire).serialize()
+        assert again == wire
+
+    @given(tcp_packets(v6=True))
+    @settings(max_examples=100)
+    def test_tcp_ipv6_identity(self, packet):
+        wire = packet.serialize()
+        assert Packet.parse(wire).serialize() == wire
+
+    @given(udp_packets())
+    @settings(max_examples=100)
+    def test_udp_ipv4_identity(self, packet):
+        wire = packet.serialize()
+        assert Packet.parse(wire).serialize() == wire
+
+    @given(udp_packets(v6=True))
+    @settings(max_examples=100)
+    def test_udp_ipv6_identity(self, packet):
+        wire = packet.serialize()
+        assert Packet.parse(wire).serialize() == wire
+
+    @given(tcp_packets())
+    @settings(max_examples=100)
+    def test_parse_preserves_fields(self, packet):
+        parsed = Packet.parse(packet.serialize())
+        assert parsed.src == packet.src
+        assert parsed.dst == packet.dst
+        assert parsed.sport == packet.sport
+        assert parsed.dport == packet.dport
+        assert parsed.flags == packet.flags
+        assert parsed.tcp.seq == packet.tcp.seq
+        assert parsed.tcp.ack == packet.tcp.ack
+        assert parsed.load == packet.load
+
+
+MUTATIONS = st.sampled_from(
+    [
+        ("TCP", "seq", 12345),
+        ("TCP", "ack", 99999),
+        ("TCP", "window", 10),
+        ("TCP", "sport", 4444),
+        ("TCP", "dport", 8080),
+        ("IP", "ttl", 7),
+    ]
+)
+
+
+class TestChecksumsAfterMutation:
+    @given(tcp_packets(), MUTATIONS)
+    @settings(max_examples=150)
+    def test_recomputed_checksums_always_valid(self, packet, mutation):
+        protocol, field, value = mutation
+        packet.set_field(protocol, field, value)
+        parsed = Packet.parse(packet.serialize())
+        assert parsed.checksums_ok()
+
+    @given(tcp_packets(v6=True))
+    @settings(max_examples=75)
+    def test_ipv6_checksums_after_mutation(self, packet):
+        packet.set_field("TCP", "seq", 424242)
+        parsed = Packet.parse(packet.serialize())
+        assert parsed.checksums_ok()
+
+    @given(udp_packets(), st.integers(1, 65535))
+    @settings(max_examples=75)
+    def test_udp_checksums_after_mutation(self, packet, port):
+        packet.udp.dport = port
+        parsed = Packet.parse(packet.serialize())
+        assert parsed.checksums_ok()
+
+    @given(tcp_packets())
+    @settings(max_examples=75)
+    def test_corrupted_checksum_override_survives_the_wire(self, packet):
+        """chksum_override must reach the wire verbatim (that's how
+        insertion packets are built) and fail validation on re-parse
+        unless it happens to equal the true checksum."""
+        packet.tcp.chksum_override = 0xDEAD
+        wire = packet.serialize()
+        parsed = Packet.parse(wire)
+        if parsed.tcp.chksum_override is None:
+            # 1-in-65536 case: 0xDEAD happened to be the true checksum.
+            assert parsed.checksums_ok()
+        else:
+            # Parse preserved the corruption, and it survives re-serialization.
+            assert parsed.tcp.chksum_override == 0xDEAD
+            assert not parsed.checksums_ok()
+            assert parsed.serialize() == wire

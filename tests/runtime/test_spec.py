@@ -1,0 +1,103 @@
+"""Tests for TrialSpec: canonical form, hashing, and execution."""
+
+import pytest
+
+from repro.core import deployed_strategy
+from repro.eval import run_trial
+from repro.runtime import SpecError, TrialSpec
+
+
+class TestBuild:
+    def test_strategy_objects_become_dsl_text(self):
+        spec = TrialSpec.build("china", "http", deployed_strategy(1), seed=3)
+        assert isinstance(spec.server_strategy, str)
+        assert "[TCP:flags:SA]" in spec.server_strategy
+
+    def test_strategy_strings_pass_through(self):
+        dsl = "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/"
+        spec = TrialSpec.build("kazakhstan", "http", dsl, seed=1)
+        assert spec.server_strategy == dsl
+
+    def test_none_strategy(self):
+        spec = TrialSpec.build("china", "http", None, seed=0)
+        assert spec.server_strategy is None
+
+    def test_jsonable_options_accepted(self):
+        spec = TrialSpec.build(
+            "china", "http", None, seed=0,
+            workload={"path": "/x", "host_header": "example.com"},
+            dns_tries=3,
+        )
+        assert spec.options["dns_tries"] == 3
+
+    def test_live_objects_rejected(self):
+        from repro.censors import KazakhstanCensor
+
+        with pytest.raises(SpecError):
+            TrialSpec.build("kazakhstan", "http", None, censor=KazakhstanCensor())
+
+    def test_client_strategy_serialized(self):
+        spec = TrialSpec.build(
+            "china", "http", None, client_strategy=deployed_strategy(8)
+        )
+        assert isinstance(spec.client_strategy, str)
+
+
+class TestCanonicalForm:
+    def test_key_is_deterministic(self):
+        a = TrialSpec.build("china", "http", deployed_strategy(1), seed=3)
+        b = TrialSpec.build("china", "http", deployed_strategy(1), seed=3)
+        assert a.canonical_key() == b.canonical_key()
+        assert a.spec_hash() == b.spec_hash()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 4},
+            {"protocol": "ftp"},
+            {"country": "iran"},
+            {"server_strategy": None},
+            {"options": {"dns_tries": 5}},
+        ],
+    )
+    def test_every_field_feeds_the_hash(self, change):
+        base = dict(
+            country="china",
+            protocol="http",
+            server_strategy=str(deployed_strategy(1)),
+            seed=3,
+            options={},
+        )
+        changed = {**base, **change}
+        assert TrialSpec(**base).spec_hash() != TrialSpec(**changed).spec_hash()
+
+    def test_option_order_is_irrelevant(self):
+        a = TrialSpec.build("china", "http", None, censor_hop=2, dns_tries=3)
+        b = TrialSpec.build("china", "http", None, dns_tries=3, censor_hop=2)
+        assert a.spec_hash() == b.spec_hash()
+
+
+class TestExecution:
+    def test_run_matches_run_trial(self):
+        spec = TrialSpec.build("china", "http", deployed_strategy(1), seed=3)
+        direct = run_trial("china", "http", deployed_strategy(1), seed=3)
+        via_spec = spec.run()
+        assert via_spec.outcome == direct.outcome
+        assert via_spec.succeeded == direct.succeeded
+        assert via_spec.censored == direct.censored
+
+    def test_trace_dropped_by_default(self):
+        spec = TrialSpec.build("china", "http", None, seed=1)
+        assert spec.run().trace is None
+        assert spec.run(keep_trace=True).trace is not None
+
+    def test_specs_survive_pickling(self):
+        import pickle
+
+        spec = TrialSpec.build(
+            "china", "http", deployed_strategy(1), seed=3,
+            workload={"path": "/?q=ultrasurf", "host_header": "example.com"},
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.run().outcome == spec.run().outcome

@@ -111,3 +111,48 @@ class TestPcapOption:
         assert code == 0
         out = capsys.readouterr().out
         assert "minimized:" in out
+
+
+class TestRuntimeFlags:
+    def test_rates_with_workers_matches_serial(self, capsys):
+        assert main(["rates", "china", "http", "--strategy", "1",
+                     "--trials", "10", "--seed", "4"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["rates", "china", "http", "--strategy", "1",
+                     "--trials", "10", "--seed", "4", "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out.splitlines()[0] == parallel_out.splitlines()[0]
+
+    def test_rates_stats_line(self, capsys):
+        assert main(["rates", "kazakhstan", "http", "--strategy", "11",
+                     "--trials", "4", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "stats:" in out
+        assert "executed=4" in out
+
+    def test_rates_cache_dir_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["rates", "kazakhstan", "http", "--strategy", "11",
+                "--trials", "4", "--cache-dir", cache, "--stats"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "executed=4" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "executed=0" in second
+        assert "cache_hits=4" in second
+        assert first.splitlines()[0] == second.splitlines()[0]
+
+    def test_no_cache_overrides_cache_dir(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["rates", "kazakhstan", "http", "--strategy", "11",
+                "--trials", "2", "--cache-dir", cache, "--no-cache", "--stats"]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed=2" in out
+        assert not (tmp_path / "cache").exists()
+
+    def test_matrix_accepts_runtime_flags(self, capsys):
+        assert main(["matrix", "--workers", "2", "--no-cache"]) == 0
+        assert "china" in capsys.readouterr().out
