@@ -7,7 +7,11 @@ Subcommands:
 - ``strategies`` list the paper's 11 strategies (with their DSL);
 - ``waterfall``  render the packet waterfall for a strategy;
 - ``evolve``     run the genetic algorithm against a censor;
-- ``matrix``     measure the Table 1 censorship matrix.
+- ``matrix``     measure the Table 1 censorship matrix;
+- ``robustness`` sweep strategy success against per-link packet loss.
+
+``rates``, ``matrix`` and ``reproduce`` accept network-impairment flags
+(``--loss/--dup/--reorder/--net-seed``) to run under a degraded path.
 
 Examples::
 
@@ -96,10 +100,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="print executor counters (trials run, cache hits, wall time)",
         )
 
+    def probability(text):
+        value = float(text)
+        if not 0.0 <= value <= 1.0:
+            raise argparse.ArgumentTypeError("must be in [0, 1]")
+        return value
+
+    def add_impairment_flags(p):
+        p.add_argument(
+            "--loss", type=probability, default=0.0, metavar="P",
+            help="per-link packet loss probability",
+        )
+        p.add_argument(
+            "--dup", type=probability, default=0.0, metavar="P",
+            help="per-link packet duplication probability",
+        )
+        p.add_argument(
+            "--reorder", type=probability, default=0.0, metavar="P",
+            help="per-link packet reordering probability",
+        )
+        p.add_argument(
+            "--net-seed", type=int, default=None, metavar="N",
+            help="pin the impairment randomness (default: split from each "
+                 "trial's own seed)",
+        )
+
     p_rates = sub.add_parser("rates", help="measure a success rate")
     add_target(p_rates)
     p_rates.add_argument("--trials", type=int, default=100)
     add_runtime_flags(p_rates)
+    add_impairment_flags(p_rates)
 
     p_water = sub.add_parser("waterfall", help="render a packet waterfall")
     add_target(p_water)
@@ -130,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_matrix = sub.add_parser("matrix", help="measure the censorship matrix")
     p_matrix.add_argument("--seed", type=int, default=0)
     add_runtime_flags(p_matrix)
+    add_impairment_flags(p_matrix)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate the paper's tables and figures"
@@ -143,6 +174,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of experiments (e.g. table2 figure3)",
     )
     add_runtime_flags(p_repro)
+    add_impairment_flags(p_repro)
+
+    p_robust = sub.add_parser(
+        "robustness", help="success-vs-loss curves per country"
+    )
+    p_robust.add_argument(
+        "--loss-rates", type=probability, nargs="*", default=None, metavar="P",
+        help="per-link loss probabilities to sweep (default: a small grid)",
+    )
+    p_robust.add_argument(
+        "--countries", nargs="*", default=None, choices=_COUNTRIES[:-1],
+        help="countries to sweep (default: all four)",
+    )
+    p_robust.add_argument("--trials", type=int, default=20)
+    p_robust.add_argument("--seed", type=int, default=0)
+    p_robust.add_argument(
+        "--net-seed", type=int, default=None, metavar="N",
+        help="pin the impairment randomness",
+    )
+    p_robust.add_argument(
+        "--json", action="store_true",
+        help="emit the curves as deterministic JSON instead of a table",
+    )
+    add_runtime_flags(p_robust)
 
     return parser
 
@@ -158,6 +213,15 @@ def _resolve_cache(args, default=None):
     if args.cache:
         return DEFAULT_CACHE_DIR
     return default
+
+
+def _resolve_impairment(args):
+    """Build an impairment policy from --loss/--dup/--reorder (or None)."""
+    if not (args.loss or args.dup or args.reorder):
+        return None
+    from .netsim import Impairment
+
+    return Impairment(loss=args.loss, dup=args.dup, reorder=args.reorder)
 
 
 def _resolve_strategy(text: Optional[str]) -> Optional[Strategy]:
@@ -190,7 +254,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .runtime import TrialExecutor
 
         executor = TrialExecutor(workers=args.workers, cache=_resolve_cache(args))
-        print(format_matrix(measure_censorship_matrix(seed=args.seed, executor=executor)))
+        print(
+            format_matrix(
+                measure_censorship_matrix(
+                    seed=args.seed,
+                    executor=executor,
+                    impairment=_resolve_impairment(args),
+                    net_seed=args.net_seed,
+                )
+            )
+        )
+        if args.stats:
+            print(f"stats: {executor.total_stats.format()}")
+        return 0
+
+    if args.command == "robustness":
+        from .eval.sweeps import (
+            DEFAULT_LOSS_GRID,
+            format_robustness,
+            impairment_robustness_sweep,
+        )
+        from .runtime import TrialExecutor
+
+        executor = TrialExecutor(workers=args.workers, cache=_resolve_cache(args))
+        curves = impairment_robustness_sweep(
+            loss_rates=tuple(args.loss_rates) if args.loss_rates else DEFAULT_LOSS_GRID,
+            countries=args.countries,
+            trials=args.trials,
+            seed=args.seed,
+            net_seed=args.net_seed,
+            executor=executor,
+        )
+        if args.json:
+            import json
+
+            # String keys + sorted dump => byte-identical output for
+            # identical invocations (the CI smoke job diffs two runs).
+            payload = {
+                country: {f"{loss:g}": rate for loss, rate in curve.items()}
+                for country, curve in curves.items()
+            }
+            print(json.dumps(payload, sort_keys=True, indent=2))
+        else:
+            print(format_robustness(curves))
         if args.stats:
             print(f"stats: {executor.total_stats.format()}")
         return 0
@@ -209,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             only=args.only,
             workers=args.workers,
             cache=_resolve_cache(args, default=default_cache),
+            impairment=_resolve_impairment(args),
+            net_seed=args.net_seed,
         )
         print(f"wrote {len(written)} artifacts to {args.out}/")
         return 0
@@ -276,6 +384,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             client_os=args.client_os,
             executor=executor,
+            impairment=_resolve_impairment(args),
+            net_seed=args.net_seed,
         )
         label = args.strategy if args.strategy else "no evasion"
         print(

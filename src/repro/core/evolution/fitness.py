@@ -42,6 +42,14 @@ class CensorTrialEvaluator:
             the default in-memory layer of an explicit cache pays off.
         executor: Prebuilt :class:`~repro.runtime.TrialExecutor` shared
             across evaluations (overrides ``workers``/``cache``).
+        impairment: Optional network-impairment policy (an
+            :class:`repro.netsim.Impairment` or its dict form) applied to
+            every fitness trial — evolving under loss selects for
+            strategies that tolerate real paths. ``None`` (the default)
+            evaluates on a perfect path; impairment randomness is drawn
+            from a stream separate from GA mutation, so enabling it never
+            perturbs the evolutionary trajectory itself.
+        net_seed: Pin the impairment stream (fanned out per trial).
     """
 
     country: str
@@ -52,6 +60,8 @@ class CensorTrialEvaluator:
     workers: int = 1
     cache: Optional[object] = None
     executor: Optional[object] = None
+    impairment: Optional[object] = None
+    net_seed: Optional[int] = None
 
     def __call__(self, strategy: Strategy) -> float:
         from ...runtime import TrialExecutor, TrialSpec, trial_seed
@@ -68,7 +78,13 @@ class CensorTrialEvaluator:
                 self.country,
                 self.protocol,
                 seed=trial_seed(self.seed, index),
+                impairment=self.impairment,
                 **strategies,
+                **(
+                    {"net_seed": trial_seed(self.net_seed, index)}
+                    if self.net_seed is not None
+                    else {}
+                ),
             )
             for index in range(self.trials)
         ]

@@ -37,6 +37,8 @@ def measure_censorship_matrix(
     workers: int = 1,
     cache=None,
     executor: TrialExecutor = None,
+    impairment=None,
+    net_seed: int = None,
 ) -> List[MatrixEntry]:
     """Probe every (country, protocol) pair with forbidden requests.
 
@@ -49,7 +51,10 @@ def measure_censorship_matrix(
     All probes of all pairs are submitted as one batch through a
     :class:`~repro.runtime.TrialExecutor` (``workers``/``cache`` as in
     :func:`~repro.eval.runner.success_rate`; pass ``executor`` to share
-    one and read its :class:`~repro.runtime.RunStats`).
+    one and read its :class:`~repro.runtime.RunStats`). ``impairment``
+    applies a network-impairment policy to every probe (the matrix should
+    be stable under mild loss — retransmission recovers the trigger);
+    ``net_seed`` pins the impairment stream per probe.
     """
     from .runner import censored_workload  # deferred for doc-build friendliness
 
@@ -68,16 +73,21 @@ def measure_censorship_matrix(
                 # country inspects on this protocol.
                 workload = censored_workload("china", protocol)
             pairs.append((country, protocol, protocol in expected_protocols))
-            specs.extend(
-                TrialSpec.build(
-                    country,
-                    protocol,
-                    None,
-                    seed=trial_seed(seed, probe),
-                    workload=dict(workload),
+            for probe in range(probes):
+                extra = {}
+                if net_seed is not None:
+                    extra["net_seed"] = trial_seed(net_seed, probe)
+                specs.append(
+                    TrialSpec.build(
+                        country,
+                        protocol,
+                        None,
+                        seed=trial_seed(seed, probe),
+                        workload=dict(workload),
+                        impairment=impairment,
+                        **extra,
+                    )
                 )
-                for probe in range(probes)
-            )
 
     results = executor.run_batch(specs)
     entries: List[MatrixEntry] = []

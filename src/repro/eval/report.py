@@ -14,10 +14,27 @@ from typing import Callable, Dict, List, Optional
 __all__ = ["reproduce_all", "EXPERIMENTS"]
 
 
-def _table1(executor=None) -> str:
+def _table1(executor=None, impairment=None, net_seed=None) -> str:
     from .matrix import format_matrix, measure_censorship_matrix
 
-    return format_matrix(measure_censorship_matrix(seed=0, executor=executor))
+    return format_matrix(
+        measure_censorship_matrix(
+            seed=0, executor=executor, impairment=impairment, net_seed=net_seed
+        )
+    )
+
+
+def _robustness(trials: int, executor=None, net_seed=None) -> str:
+    from .sweeps import format_robustness, impairment_robustness_sweep
+
+    return format_robustness(
+        impairment_robustness_sweep(
+            trials=max(5, trials // 25),
+            seed=0,
+            net_seed=net_seed,
+            executor=executor,
+        )
+    )
 
 
 def _table2(trials: int, executor=None) -> str:
@@ -120,18 +137,25 @@ def _sweeps(trials: int) -> str:
     return "\n\n".join(parts)
 
 
-#: Experiment id -> renderer taking (trials, executor); the executor is
-#: shared across table-style experiments so caching spans the whole run.
+#: Experiment id -> renderer taking (trials, executor, impairment,
+#: net_seed); the executor is shared across table-style experiments so
+#: caching spans the whole run. Renderers that have no use for an
+#: impairment policy simply ignore those keywords.
 EXPERIMENTS: Dict[str, Callable] = {
-    "table1": lambda trials, executor=None: _table1(executor=executor),
-    "table2": _table2,
-    "figure1": lambda trials, executor=None: _figure1(),
-    "figure2": lambda trials, executor=None: _figure2(),
-    "figure3": lambda trials, executor=None: _figure3(trials),
-    "section3": lambda trials, executor=None: _section3(trials),
-    "section4": lambda trials, executor=None: _section4(trials),
-    "section7": lambda trials, executor=None: _section7(),
-    "sweeps": lambda trials, executor=None: _sweeps(trials),
+    "table1": lambda trials, executor=None, impairment=None, net_seed=None: _table1(
+        executor=executor, impairment=impairment, net_seed=net_seed
+    ),
+    "table2": lambda trials, executor=None, **_: _table2(trials, executor=executor),
+    "figure1": lambda trials, executor=None, **_: _figure1(),
+    "figure2": lambda trials, executor=None, **_: _figure2(),
+    "figure3": lambda trials, executor=None, **_: _figure3(trials),
+    "section3": lambda trials, executor=None, **_: _section3(trials),
+    "section4": lambda trials, executor=None, **_: _section4(trials),
+    "section7": lambda trials, executor=None, **_: _section7(),
+    "sweeps": lambda trials, executor=None, **_: _sweeps(trials),
+    "robustness": lambda trials, executor=None, impairment=None, net_seed=None: (
+        _robustness(trials, executor=executor, net_seed=net_seed)
+    ),
 }
 
 
@@ -142,13 +166,17 @@ def reproduce_all(
     echo: Callable[[str], None] = print,
     workers: int = 1,
     cache=None,
+    impairment=None,
+    net_seed: Optional[int] = None,
 ) -> List[str]:
     """Regenerate the selected artifacts into ``out_dir``.
 
     ``workers``/``cache`` configure one shared
     :class:`~repro.runtime.TrialExecutor` for the batch-style experiments
     (currently Tables 1 and 2); its cumulative :class:`RunStats` are
-    echoed at the end. Returns the list of files written.
+    echoed at the end. ``impairment``/``net_seed`` apply a network
+    impairment to the experiments that support one (Table 1 and the
+    robustness curves). Returns the list of files written.
     """
     from ..runtime import TrialExecutor
 
@@ -164,7 +192,9 @@ def reproduce_all(
                 f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
             )
         echo(f"[{name}] running ...")
-        text = renderer(trials, executor=executor)
+        text = renderer(
+            trials, executor=executor, impairment=impairment, net_seed=net_seed
+        )
         path = directory / f"{name}.txt"
         path.write_text(text + "\n")
         written.append(str(path))

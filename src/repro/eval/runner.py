@@ -38,7 +38,8 @@ from ..censors import (
     KazakhstanCensor,
 )
 from ..core import Strategy, install_strategy
-from ..netsim import Middlebox, Network, Scheduler, Trace
+from ..netsim import Impairment, Middlebox, Network, Scheduler, Trace
+from ..runtime.seeds import net_stream_seed, trial_seed
 from ..tcpstack import Host, SERVER_PERSONALITY, personality
 
 __all__ = [
@@ -185,6 +186,8 @@ class Trial:
         client_ip: Optional[str] = None,
         strategy_at_hop: Optional[int] = None,
         ip_version: int = 4,
+        impairment=None,
+        net_seed: Optional[int] = None,
     ) -> None:
         if ip_version not in (4, 6):
             raise ValueError("ip_version must be 4 or 6")
@@ -195,6 +198,23 @@ class Trial:
         self.protocol = protocol
         self.max_time = max_time
         self.scheduler = Scheduler()
+        # Normalize the impairment policy up front; null policies drop to
+        # None so the unimpaired path stays literally the pre-impairment
+        # code path (zero extra RNG draws, bit-identical traces).
+        policy = Impairment.from_value(impairment)
+        if policy is not None and policy.is_null():
+            policy = None
+        self.impairment = policy
+        net_rng: Optional[random.Random] = None
+        if self.impairment is not None:
+            # The impairment stream is split from the trial seed with a
+            # domain salt (or pinned by an explicit net_seed) rather than
+            # drawn from ``base`` below: consuming ``base`` here would
+            # shift the censor/client/server/strategy streams and change
+            # every existing trace.
+            net_rng = random.Random(
+                net_seed if net_seed is not None else net_stream_seed(seed)
+            )
         base = random.Random(seed)
         censor_rng = random.Random(base.randrange(1 << 30))
         client_rng = random.Random(base.randrange(1 << 30))
@@ -237,7 +257,12 @@ class Trial:
             server_strategy = None
 
         self.network = Network(
-            self.scheduler, self.client_host, self.server_host, middleboxes
+            self.scheduler,
+            self.client_host,
+            self.server_host,
+            middleboxes,
+            impairment=self.impairment,
+            net_rng=net_rng,
         )
         self.client_host.attach(self.network)
         self.server_host.attach(self.network)
@@ -300,6 +325,8 @@ def success_rate(
     workers: int = 1,
     cache=None,
     executor=None,
+    impairment=None,
+    net_seed: Optional[int] = None,
     **kwargs,
 ) -> float:
     """Fraction of ``trials`` independent runs that evade censorship.
@@ -311,22 +338,52 @@ def success_rate(
     (``True`` → ``.repro_cache/``, or a path / ``ResultCache``), and
     ``executor`` supplies a prebuilt :class:`~repro.runtime.TrialExecutor`
     (overriding both) so callers can share one across batches and read
-    its :class:`~repro.runtime.RunStats`. Arguments that cannot be
+    its :class:`~repro.runtime.RunStats`. ``impairment`` applies one
+    network-impairment policy to every trial; ``net_seed`` pins the
+    impairment stream explicitly (fanned out per trial via
+    :func:`trial_seed`, so trials stay independent) instead of the
+    default split from each trial's own seed. Arguments that cannot be
     expressed as picklable specs (live censor instances, middlebox
     objects, ...) fall back to an in-process loop over the same seeds.
     """
-    from ..runtime import SpecError, TrialExecutor, TrialSpec, trial_seed
+    from ..runtime import SpecError, TrialExecutor, TrialSpec
 
+    imp = Impairment.from_value(impairment)
+    if imp is not None and imp.is_null():
+        imp = None
     seeds = [trial_seed(seed, index) for index in range(trials)]
+    net_seeds: List[Optional[int]] = [
+        trial_seed(net_seed, index) if net_seed is not None else None
+        for index in range(trials)
+    ]
     try:
-        specs = [
-            TrialSpec.build(country, protocol, server_strategy, seed=s, **kwargs)
-            for s in seeds
-        ]
+        specs = []
+        for s, ns in zip(seeds, net_seeds):
+            extra = dict(kwargs)
+            if ns is not None:
+                extra["net_seed"] = ns
+            specs.append(
+                TrialSpec.build(
+                    country,
+                    protocol,
+                    server_strategy,
+                    seed=s,
+                    impairment=imp,
+                    **extra,
+                )
+            )
     except SpecError:
         successes = sum(
-            run_trial(country, protocol, server_strategy, seed=s, **kwargs).succeeded
-            for s in seeds
+            run_trial(
+                country,
+                protocol,
+                server_strategy,
+                seed=s,
+                impairment=imp,
+                net_seed=ns,
+                **kwargs,
+            ).succeeded
+            for s, ns in zip(seeds, net_seeds)
         )
         return successes / trials
     if executor is None:

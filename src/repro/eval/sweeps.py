@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from ..censors import CHINA_PROFILES, GreatFirewall
 from ..censors.gfw.profiles import EVENT_RST
 from ..core import Strategy, deployed_strategy
+from ..netsim import Impairment
 from ..runtime import trial_seed
 from .runner import Trial, run_trial, success_rate
 
@@ -32,7 +33,11 @@ __all__ = [
     "resync_probability_sweep",
     "mitm_retry_sweep",
     "censor_hop_sweep",
+    "impairment_robustness_sweep",
+    "format_robustness",
     "format_sweep",
+    "ROBUSTNESS_CASES",
+    "DEFAULT_LOSS_GRID",
 ]
 
 _WINDOW_CLAMP_TAIL = (
@@ -186,6 +191,80 @@ def censor_hop_sweep(
             server_hop=server_hop,
         )
     return rates
+
+
+#: Representative working strategy per country (mirrors the golden-trace
+#: cases): (protocol, deployed strategy number).
+ROBUSTNESS_CASES: Dict[str, tuple] = {
+    "china": ("http", 1),
+    "india": ("http", 8),
+    "iran": ("https", 8),
+    "kazakhstan": ("http", 11),
+}
+
+#: Per-link loss probabilities swept by default. The simulated path has
+#: ~10 links, so end-to-end loss compounds quickly — the grid stays low.
+DEFAULT_LOSS_GRID = (0.0, 0.01, 0.02, 0.05)
+
+
+def impairment_robustness_sweep(
+    loss_rates: Sequence[float] = DEFAULT_LOSS_GRID,
+    countries: Optional[Sequence[str]] = None,
+    trials: int = 20,
+    seed: int = 0,
+    net_seed: Optional[int] = None,
+    workers: int = 1,
+    cache=None,
+    executor=None,
+) -> Dict[str, Dict[float, float]]:
+    """Success-vs-loss curves: strategy robustness under packet loss.
+
+    For each country, its representative working strategy (see
+    :data:`ROBUSTNESS_CASES`) is measured at every per-link loss rate in
+    ``loss_rates``; clients recover dropped segments through TCP
+    retransmission, so the curves show how much real-path degradation
+    each evasion strategy tolerates before its success rate collapses.
+
+    ``net_seed`` pins the impairment randomness (fanned out per trial);
+    leaving it ``None`` splits the impairment stream from each trial's
+    own seed. Either way two identical invocations produce identical
+    curves. Returns ``{country: {loss_rate: success_rate}}``.
+    """
+    if countries is None:
+        countries = sorted(ROBUSTNESS_CASES)
+    curves: Dict[str, Dict[float, float]] = {}
+    for country in countries:
+        protocol, number = ROBUSTNESS_CASES[country]
+        strategy = deployed_strategy(number)
+        curve: Dict[float, float] = {}
+        for loss in loss_rates:
+            impairment = Impairment(loss=loss) if loss else None
+            curve[loss] = success_rate(
+                country,
+                protocol,
+                strategy,
+                trials=trials,
+                seed=seed,
+                workers=workers,
+                cache=cache,
+                executor=executor,
+                impairment=impairment,
+                net_seed=net_seed if impairment is not None else None,
+            )
+        curves[country] = curve
+    return curves
+
+
+def format_robustness(curves: Dict[str, Dict[float, float]]) -> str:
+    """Render success-vs-loss curves as a small per-country table."""
+    lines = ["Strategy robustness under per-link packet loss"]
+    for country in sorted(curves):
+        protocol, number = ROBUSTNESS_CASES.get(country, ("?", "?"))
+        lines.append(f"{country} (strategy {number}, {protocol}):")
+        for loss in sorted(curves[country]):
+            rate = curves[country][loss]
+            lines.append(f"  loss {loss * 100:5.1f}% -> {rate * 100:5.0f}%")
+    return "\n".join(lines)
 
 
 def format_sweep(title: str, rates: Dict, unit: str = "") -> str:

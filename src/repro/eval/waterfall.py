@@ -104,6 +104,9 @@ def render_waterfall(trace: Trace, title: str = "") -> str:
             lines.append(f"  !! censor action: {event.detail}")
         elif event.kind == "drop" and "blackholed" in event.detail:
             lines.append(f"  xx dropped by censor: {packet_label(packet, client_isn)}")
+        elif event.kind in ("loss", "dup", "reorder", "corrupt"):
+            label = packet_label(packet, client_isn)
+            lines.append(f"  ~~ {event.kind} at {event.location}: {label}")
     return "\n".join(lines)
 
 

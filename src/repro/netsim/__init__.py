@@ -8,6 +8,7 @@ recording for waterfall diagrams.
 """
 
 from .events import Scheduler, Timer
+from .impairment import Impairment
 from .middlebox import DIRECTION_C2S, DIRECTION_S2C, Middlebox, PathContext, TransparentTap
 from .network import Network, NetworkNode
 from .pcap import read_pcap, trace_to_pcap_bytes, write_pcap
@@ -16,6 +17,7 @@ from .trace import Trace, TraceEvent
 __all__ = [
     "DIRECTION_C2S",
     "DIRECTION_S2C",
+    "Impairment",
     "Middlebox",
     "Network",
     "NetworkNode",

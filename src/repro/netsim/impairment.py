@@ -1,0 +1,186 @@
+"""Deterministic network impairments: loss, duplication, reordering, corruption.
+
+The paper's strategies were measured over real, lossy paths into China,
+India, Iran, and Kazakhstan; several of them (TTL-limited insertion,
+simultaneous open, injected-RST races) depend on packet orderings that
+real networks do not guarantee. :class:`Impairment` is a seeded policy
+the :class:`~repro.netsim.network.Network` applies on every link
+traversal, so a trial can be replayed under controlled path conditions
+and still be bit-for-bit reproducible.
+
+Determinism guarantees:
+
+- Every random decision is drawn from one dedicated ``random.Random``
+  owned by the network (the *net stream*), which is split from the trial
+  seed (see :func:`repro.runtime.seeds.net_stream_seed`) — never shared
+  with censor, endpoint, strategy, or GA randomness.
+- Draws happen at *schedule* time in the deterministic order the event
+  loop processes packets, so the same seed replays the same impaired
+  trace exactly.
+- A null policy (:meth:`Impairment.none`, or any policy whose knobs are
+  all zero) makes **zero** draws and schedules hops through the exact
+  pre-impairment code path, so unimpaired trials are byte-identical to
+  the historical simulator.
+- Per-knob gating: a knob set to ``0.0`` never consumes a draw, so e.g.
+  a loss-only sweep's draw sequence is independent of the duplication
+  and reordering knobs.
+
+Every impairment decision is recorded as a first-class trace event
+(``loss`` / ``dup`` / ``reorder`` / ``corrupt``), so waterfalls and
+trace digests can explain an impaired trial instead of just differing.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..packets import Packet
+
+__all__ = ["Impairment", "corrupt_payload"]
+
+#: Directions an impairment may be scoped to.
+_DIRECTIONS = ("both", "c2s", "s2c")
+
+
+@dataclass(frozen=True)
+class Impairment:
+    """A per-link impairment policy (all probabilities per traversal).
+
+    Attributes:
+        loss: Probability a packet is dropped on a link.
+        dup: Probability a duplicate copy is created (delivered
+            ``dup_spacing`` seconds after the original).
+        reorder: Probability a packet is held back ``reorder_delay``
+            extra seconds, letting later packets overtake it.
+        corrupt: Probability one payload bit is flipped. The original
+            checksum is pinned first, so end hosts detect and drop the
+            segment while checksum-blind censors (the GFW) still inspect
+            the corrupted bytes.
+        jitter: Uniform extra latency in ``[0, jitter)`` seconds added to
+            every traversal (latency variance; with multiple packets in
+            flight this also reorders).
+        reorder_delay: Hold-back applied when ``reorder`` fires.
+        dup_spacing: Delay between an original and its duplicate.
+        direction: ``"both"``, ``"c2s"``, or ``"s2c"`` — which direction
+            the policy applies to (per-direction loss etc.).
+    """
+
+    loss: float = 0.0
+    dup: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    jitter: float = 0.0
+    reorder_delay: float = 0.012
+    dup_spacing: float = 0.002
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        for knob in ("loss", "dup", "reorder", "corrupt"):
+            value = getattr(self, knob)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{knob} must be in [0, 1], got {value!r}")
+        for delay in ("jitter", "reorder_delay", "dup_spacing"):
+            if getattr(self, delay) < 0:
+                raise ValueError(f"{delay} must be non-negative")
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "Impairment":
+        """The null policy: a perfect network (no draws, no effect)."""
+        return cls()
+
+    def is_null(self) -> bool:
+        """Whether this policy can never affect a packet."""
+        return (
+            self.loss == 0.0
+            and self.dup == 0.0
+            and self.reorder == 0.0
+            and self.corrupt == 0.0
+            and self.jitter == 0.0
+        )
+
+    def applies(self, direction: str) -> bool:
+        """Whether the policy covers packets travelling ``direction``."""
+        return self.direction == "both" or self.direction == direction
+
+    # ------------------------------------------------------------------
+    # Canonical JSON form (what TrialSpec hashes into the cache key)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Minimal canonical dict: only knobs that differ from defaults.
+
+        Two policies with equal effect always produce equal dicts, which
+        is what makes impairment-bearing cache keys sound.
+        """
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Impairment":
+        """Rebuild a policy from its dict form (rejects unknown knobs)."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown impairment knobs: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_value(
+        cls, value: Union["Impairment", Dict[str, Any], None]
+    ) -> Optional["Impairment"]:
+        """Normalize an ``impairment=`` argument (policy, dict, or None)."""
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TypeError(f"impairment must be Impairment/dict/None, got {value!r}")
+
+
+def _pinned_checksum(packet: Packet) -> None:
+    """Freeze the transport checksum at its current (correct) value.
+
+    Serialization computes the checksum lazily unless an override is
+    set; pinning it before a payload flip is what makes the corruption
+    *detectable* by end hosts.
+    """
+    transport = packet.transport
+    if transport is None or transport.chksum_override is not None:
+        return
+    raw = transport.serialize(packet.src, packet.dst)
+    offset = 16 if packet.tcp is not None else 6  # TCP vs UDP checksum field
+    transport.chksum_override = struct.unpack("!H", raw[offset : offset + 2])[0]
+
+
+def corrupt_payload(packet: Packet, rng: random.Random) -> Tuple[Packet, int]:
+    """Return a copy of ``packet`` with one payload bit flipped.
+
+    The pre-corruption checksum is pinned first so receivers' checksum
+    validation catches the damage (and retransmission recovers), while
+    censors that skip validation see the corrupted bytes.
+
+    Returns the corrupted copy and the flipped byte offset.
+    """
+    corrupted = packet.copy()
+    transport = corrupted.transport
+    load = transport.load
+    if not load:
+        raise ValueError("cannot corrupt an empty payload")
+    offset = rng.randrange(len(load))
+    bit = 1 << rng.randrange(8)
+    _pinned_checksum(corrupted)
+    transport.load = load[:offset] + bytes([load[offset] ^ bit]) + load[offset + 1 :]
+    return corrupted, offset

@@ -10,10 +10,12 @@ faithfully), and full packet tracing.
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional, Protocol, Sequence
 
 from ..packets import Packet
 from .events import Scheduler
+from .impairment import Impairment, corrupt_payload
 from .middlebox import DIRECTION_C2S, DIRECTION_S2C, Middlebox, PathContext
 from .trace import Trace
 
@@ -49,6 +51,8 @@ class Network:
         middleboxes: Sequence[Middlebox] = (),
         hop_delay: float = 0.005,
         trace: Optional[Trace] = None,
+        impairment: Optional[Impairment] = None,
+        net_rng: Optional[random.Random] = None,
     ) -> None:
         self.scheduler = scheduler
         self.client = client
@@ -56,6 +60,14 @@ class Network:
         self.middleboxes: List[Middlebox] = list(middleboxes)
         self.hop_delay = hop_delay
         self.trace = trace if trace is not None else Trace()
+        # A null policy is normalized to None so the hot path stays the
+        # exact pre-impairment code (no draws, byte-identical traces).
+        if impairment is not None and impairment.is_null():
+            impairment = None
+        self.impairment = impairment
+        self._net_rng = (
+            net_rng if net_rng is not None else random.Random(0)
+        ) if impairment is not None else None
         self._contexts = [
             PathContext(self, index, getattr(box, "name", f"mb{index}"))
             for index, box in enumerate(self.middleboxes)
@@ -98,9 +110,52 @@ class Network:
     # Path walking
 
     def _schedule_hop(self, packet: Packet, direction: str, index: int, ttl: int) -> None:
-        self.scheduler.schedule(
-            self.hop_delay, lambda: self._hop(packet, direction, index, ttl)
-        )
+        imp = self.impairment
+        if imp is None or not imp.applies(direction):
+            self.scheduler.schedule(
+                self.hop_delay, lambda: self._hop(packet, direction, index, ttl)
+            )
+            return
+        self._schedule_impaired_hop(imp, packet, direction, index, ttl)
+
+    def _schedule_impaired_hop(
+        self, imp: Impairment, packet: Packet, direction: str, index: int, ttl: int
+    ) -> None:
+        """One link traversal under the impairment policy.
+
+        Draw order is fixed (loss, corrupt, jitter, reorder, dup) and
+        each knob only consumes a draw when non-zero, so a given policy
+        and net seed always replay the same impaired trace.
+        """
+        rng = self._net_rng
+        now = self.scheduler.now
+        label = f"link{index}"
+        if imp.loss and rng.random() < imp.loss:
+            self.trace.record(now, "loss", label, packet, "impairment: lost")
+            return
+        if imp.corrupt and packet.load and rng.random() < imp.corrupt:
+            packet, offset = corrupt_payload(packet, rng)
+            self.trace.record(
+                now, "corrupt", label, packet,
+                f"impairment: payload bit flipped at offset {offset}",
+            )
+        delay = self.hop_delay
+        if imp.jitter:
+            delay += rng.random() * imp.jitter
+        if imp.reorder and rng.random() < imp.reorder:
+            delay += imp.reorder_delay
+            self.trace.record(
+                now, "reorder", label, packet,
+                f"impairment: held back {imp.reorder_delay * 1000:.1f}ms",
+            )
+        if imp.dup and rng.random() < imp.dup:
+            duplicate = packet.copy()
+            self.trace.record(now, "dup", label, duplicate, "impairment: duplicated")
+            self.scheduler.schedule(
+                delay + imp.dup_spacing,
+                lambda: self._hop(duplicate, direction, index, ttl),
+            )
+        self.scheduler.schedule(delay, lambda: self._hop(packet, direction, index, ttl))
 
     def _hop(self, packet: Packet, direction: str, index: int, ttl: int) -> None:
         past_chain = index >= len(self.middleboxes) if direction == DIRECTION_C2S else index < 0

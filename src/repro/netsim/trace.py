@@ -8,6 +8,7 @@ these to regenerate the paper's Figure 1 / Figure 2 diagrams.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -22,9 +23,11 @@ class TraceEvent:
 
     Attributes:
         time: Virtual timestamp of the event.
-        kind: ``"send"``, ``"recv"``, ``"inject"``, ``"drop"`` or
-            ``"censor"``.
-        location: Where it happened (host or middlebox name).
+        kind: ``"send"``, ``"recv"``, ``"inject"``, ``"drop"``,
+            ``"censor"``, or one of the impairment kinds ``"loss"``,
+            ``"dup"``, ``"reorder"``, ``"corrupt"`` (see
+            :mod:`repro.netsim.impairment`).
+        location: Where it happened (host, middlebox, or link name).
         packet: The packet involved, if any (a defensive copy).
         detail: Free-form annotation (drop reason, censor verdict, ...).
     """
@@ -68,6 +71,20 @@ class Trace:
         if location is not None:
             result = [event for event in result if event.location == location]
         return list(result)
+
+    def digest(self) -> str:
+        """SHA-256 over the full event stream (bit-identity comparisons).
+
+        Covers timestamps, kinds, locations, details, and exact packet
+        wire bytes, so two traces share a digest only when every
+        observable detail of the two trials matched.
+        """
+        hasher = hashlib.sha256()
+        for event in self.events:
+            wire = event.packet.serialize().hex() if event.packet is not None else "-"
+            line = f"{event.time:.9f}|{event.kind}|{event.location}|{event.detail}|{wire}\n"
+            hasher.update(line.encode("utf-8"))
+        return hasher.hexdigest()
 
     def __len__(self) -> int:
         return len(self.events)

@@ -98,6 +98,7 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         seed=payload["seed"],
         client_strategy=payload["client_strategy"],
         options=payload["options"],
+        impairment=payload.get("impairment"),
     )
     start = time.perf_counter()
     result = spec.run()

@@ -12,11 +12,15 @@ executor paths use this single definition, so they are bit-identical.
 
 from __future__ import annotations
 
-__all__ = ["splitmix64", "trial_seed"]
+__all__ = ["splitmix64", "trial_seed", "net_stream_seed"]
 
 _MASK64 = (1 << 64) - 1
 #: splitmix64's additive constant (the 64-bit golden ratio).
 _GOLDEN = 0x9E3779B97F4A7C15
+
+#: Domain-separation salt for the network-impairment stream. Any value
+#: works as long as it is fixed; this one spells "net noise" loosely.
+_NET_SALT = 0x4E45_545F_4E4F_4953
 
 
 def splitmix64(value: int) -> int:
@@ -41,3 +45,18 @@ def trial_seed(base_seed: int, index: int) -> int:
     """
     mixed = splitmix64((base_seed & _MASK64) ^ splitmix64(index & _MASK64))
     return mixed >> 1
+
+
+def net_stream_seed(seed: int) -> int:
+    """Split the network-impairment RNG stream off a trial seed.
+
+    Netsim impairment draws must come from their own ``random.Random``:
+    sharing a generator with censor models, endpoint ISNs, or GA
+    mutation would let turning impairment on or off shift *every other*
+    random decision in a trial. Domain-separating the trial seed with a
+    fixed salt (then avalanching) yields an independent, reproducible
+    stream — and consuming it leaves all other streams untouched, so
+    trials with impairment disabled are bit-identical to trials that
+    never heard of impairment.
+    """
+    return splitmix64((seed & _MASK64) ^ _NET_SALT) >> 1

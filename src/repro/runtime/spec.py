@@ -23,7 +23,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-__all__ = ["SpecError", "TrialSpec", "strategy_text"]
+__all__ = ["SpecError", "TrialSpec", "impairment_dict", "strategy_text"]
 
 
 class SpecError(ValueError):
@@ -41,6 +41,26 @@ def strategy_text(strategy: Any) -> Optional[str]:
     if not hasattr(strategy, "apply_outbound"):
         raise SpecError(f"not a strategy: {strategy!r}")
     return text
+
+
+def impairment_dict(value: Any) -> Optional[Dict[str, Any]]:
+    """Canonical minimal dict for an ``impairment=`` argument.
+
+    Accepts ``None``, an :class:`repro.netsim.Impairment`, or a dict of
+    knobs (validated). Null policies (all knobs zero) collapse to
+    ``None`` so they share the unimpaired spec's cache key.
+    """
+    if value is None:
+        return None
+    from ..netsim import Impairment
+
+    try:
+        policy = Impairment.from_value(value)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"bad impairment: {exc}") from None
+    if policy.is_null():
+        return None
+    return policy.as_dict()
 
 
 def _ensure_jsonable(value: Any, path: str) -> None:
@@ -70,6 +90,12 @@ class TrialSpec:
         seed: The exact per-trial seed (already derived; specs do not
             fan seeds out themselves).
         client_strategy: Client-side strategy DSL text, or ``None``.
+        impairment: Canonical network-impairment dict (see
+            :class:`repro.netsim.Impairment`), or ``None`` for a perfect
+            path. Part of the canonical key — impaired results can never
+            be served for unimpaired specs or vice versa. ``None`` is
+            *omitted* from the canonical form, so pre-impairment cache
+            entries stay addressable (cache-key schema v2, additive).
         options: Extra keyword arguments for
             :class:`~repro.eval.runner.Trial` (JSON-able values only).
     """
@@ -80,6 +106,7 @@ class TrialSpec:
     seed: int = 0
     client_strategy: Optional[str] = None
     options: Dict[str, Any] = field(default_factory=dict)
+    impairment: Optional[Dict[str, Any]] = None
 
     @classmethod
     def build(
@@ -89,9 +116,15 @@ class TrialSpec:
         server_strategy: Any = None,
         seed: int = 0,
         client_strategy: Any = None,
+        impairment: Any = None,
         **kwargs: Any,
     ) -> "TrialSpec":
         """Build a spec from ``run_trial``-style arguments.
+
+        ``impairment`` accepts an :class:`repro.netsim.Impairment`, its
+        dict form, or ``None``; it is canonicalized (minimal sorted
+        dict, null policies collapse to ``None``) so equal policies
+        always hash equally.
 
         Raises :class:`SpecError` when any argument cannot be expressed
         as picklable data (callers then fall back to in-process
@@ -105,14 +138,20 @@ class TrialSpec:
             seed=seed,
             client_strategy=strategy_text(client_strategy),
             options=dict(kwargs),
+            impairment=impairment_dict(impairment),
         )
 
     # ------------------------------------------------------------------
     # Canonical form / hashing
 
     def as_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (also the multiprocessing payload)."""
-        return {
+        """Plain-dict form (also the multiprocessing payload).
+
+        The ``impairment`` key is present only when set: unimpaired
+        specs keep the exact canonical form (and therefore cache keys)
+        they had before the impairment layer existed.
+        """
+        out = {
             "country": self.country,
             "protocol": self.protocol,
             "server_strategy": self.server_strategy,
@@ -120,6 +159,9 @@ class TrialSpec:
             "seed": self.seed,
             "options": self.options,
         }
+        if self.impairment is not None:
+            out["impairment"] = self.impairment
+        return out
 
     def canonical_key(self) -> str:
         """Deterministic string form: sorted-key compact JSON."""
@@ -156,6 +198,8 @@ class TrialSpec:
         kwargs = copy.deepcopy(self.options)
         if self.client_strategy is not None:
             kwargs["client_strategy"] = Strategy.parse(self.client_strategy)
+        if self.impairment is not None:
+            kwargs["impairment"] = dict(self.impairment)
         result = run_trial(
             self.country, self.protocol, server, seed=self.seed, **kwargs
         )

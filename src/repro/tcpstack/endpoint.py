@@ -28,9 +28,12 @@ __all__ = ["TCPEndpoint", "seq_delta"]
 
 _MOD = 1 << 32
 
-#: Base retransmission timeout (virtual seconds).
+#: Base retransmission timeout (virtual seconds) — the fallback when a
+#: personality does not override :attr:`OSPersonality.rto`.
 DEFAULT_RTO = 0.4
-#: Retransmissions before the connection is declared failed.
+#: Legacy flat retransmission cap. Per-state limits now come from the
+#: personality (``syn_retries`` / ``synack_retries`` / ``data_retries``);
+#: this remains the floor older callers may still reference.
 MAX_RETRANSMITS = 4
 
 
@@ -99,6 +102,8 @@ class TCPEndpoint:
         self.was_reset = False
         self.failure_reason: Optional[str] = None
         self.simultaneous_open_used = False
+        self.retransmits_sent = 0
+        self.dup_segments_discarded = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -321,6 +326,10 @@ class TCPEndpoint:
                 return
             if offset > 0:
                 if offset >= len(data):
+                    # Entirely old bytes — a retransmission (or an
+                    # impairment duplicate) of data already delivered.
+                    # Discard, but still ACK below so the sender stops.
+                    self.dup_segments_discarded += 1
                     data = b""
                 else:
                     data = data[offset:]
@@ -447,13 +456,22 @@ class TCPEndpoint:
 
     def _arm_retransmit(self) -> None:
         self._cancel_retransmit()
-        delay = DEFAULT_RTO * (2 ** min(self._retx_count, 6))
+        rto = getattr(self.personality, "rto", DEFAULT_RTO)
+        delay = rto * (2 ** min(self._retx_count, 6))
         self._retx_timer = self.host.scheduler.schedule(delay, self._on_rto)
 
     def _cancel_retransmit(self) -> None:
         if self._retx_timer is not None:
             self._retx_timer.cancel()
             self._retx_timer = None
+
+    def _retx_limit(self) -> int:
+        """Retransmission budget for the current state (per-OS)."""
+        if self.state == states.SYN_SENT:
+            return self.personality.syn_retries
+        if self.state == states.SYN_RCVD:
+            return self.personality.synack_retries
+        return self.personality.data_retries
 
     def _on_rto(self) -> None:
         self._retx_timer = None
@@ -466,9 +484,10 @@ class TCPEndpoint:
         if nothing_outstanding:
             return
         self._retx_count += 1
-        if self._retx_count > MAX_RETRANSMITS:
+        if self._retx_count > self._retx_limit():
             self._fail("retransmission limit exceeded")
             return
+        self.retransmits_sent += 1
         if self.state == states.SYN_SENT:
             self._emit("S", seq=self.iss, ack=0, options=self._syn_options())
         elif self.state == states.SYN_RCVD:

@@ -37,6 +37,15 @@ class OSPersonality:
         default_window: Initial advertised receive window.
         window_scale: Advertised window-scale shift count.
         mss: Advertised maximum segment size.
+        syn_retries: SYN retransmissions before an active open is
+            declared failed (Linux ``net.ipv4.tcp_syn_retries``).
+        synack_retries: SYN+ACK retransmissions before a passive open is
+            abandoned (Linux ``net.ipv4.tcp_synack_retries``).
+        data_retries: Data/FIN retransmissions in synchronized states
+            before the connection fails (cf. ``tcp_retries2``, scaled to
+            the simulator's clock).
+        rto: Base retransmission timeout in virtual seconds; each retry
+            doubles it (bounded exponential backoff).
     """
 
     name: str
@@ -48,6 +57,10 @@ class OSPersonality:
     default_window: int = 65535
     window_scale: int = 7
     mss: int = 1460
+    syn_retries: int = 6
+    synack_retries: int = 5
+    data_retries: int = 6
+    rto: float = 0.4
 
 
 def _linux(name: str) -> OSPersonality:
@@ -55,12 +68,17 @@ def _linux(name: str) -> OSPersonality:
 
 
 def _windows(name: str) -> OSPersonality:
+    # Windows retries less aggressively than Linux (TcpMaxConnect
+    # Retransmissions-style registry defaults, scaled to the simulator).
     return OSPersonality(
         name=name,
         family="windows",
         ignores_synack_payload=False,
         default_window=64240,
         window_scale=8,
+        syn_retries=4,
+        synack_retries=4,
+        data_retries=5,
     )
 
 

@@ -13,7 +13,14 @@ from repro.tcpstack import Host, SERVER_PERSONALITY, personality
 class LinkedHosts:
     """A client/server pair wired through a Network, ready to exchange."""
 
-    def __init__(self, middleboxes=(), client_os="ubuntu-18.04.1", seed=7):
+    def __init__(
+        self,
+        middleboxes=(),
+        client_os="ubuntu-18.04.1",
+        seed=7,
+        impairment=None,
+        net_seed=0,
+    ):
         self.scheduler = Scheduler()
         self.client = Host(
             "client", "10.0.0.1", self.scheduler, random.Random(seed), personality(client_os)
@@ -22,7 +29,12 @@ class LinkedHosts:
             "server", "10.0.0.2", self.scheduler, random.Random(seed + 1), SERVER_PERSONALITY
         )
         self.network = Network(
-            self.scheduler, self.client, self.server, middleboxes
+            self.scheduler,
+            self.client,
+            self.server,
+            middleboxes,
+            impairment=impairment,
+            net_rng=random.Random(net_seed) if impairment is not None else None,
         )
         self.client.attach(self.network)
         self.server.attach(self.network)
@@ -37,8 +49,10 @@ class LinkedHosts:
 def linked_hosts():
     """Factory fixture building a wired client/server pair."""
 
-    def build(middleboxes=(), client_os="ubuntu-18.04.1", seed=7):
-        return LinkedHosts(middleboxes=middleboxes, client_os=client_os, seed=seed)
+    def build(middleboxes=(), client_os="ubuntu-18.04.1", seed=7, **kwargs):
+        return LinkedHosts(
+            middleboxes=middleboxes, client_os=client_os, seed=seed, **kwargs
+        )
 
     return build
 

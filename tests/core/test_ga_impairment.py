@@ -1,0 +1,76 @@
+"""GA / impairment stream isolation.
+
+The impairment layer must not perturb evolution: with impairment off,
+GA runs are bit-identical to the pre-impairment code (same specs, same
+cache keys, same trajectory), and the fitness evaluator's impairment
+option draws from the per-trial net stream — never from the GA's own
+mutation RNG.
+"""
+
+from repro.core.evolution import CensorTrialEvaluator, GAConfig, GeneticAlgorithm
+from repro.netsim import Impairment
+from repro.runtime import TrialSpec
+
+SMALL = dict(population_size=8, generations=3, seed=11, convergence_patience=10)
+
+
+def run_small_ga(evaluator):
+    ga = GeneticAlgorithm(evaluator, config=GAConfig(**SMALL))
+    return ga.run()
+
+
+class TestGAUnchangedWhenImpairmentOff:
+    def test_default_and_null_policy_runs_identical(self):
+        baseline = run_small_ga(
+            CensorTrialEvaluator("india", "http", trials=2, seed=5)
+        )
+        null = run_small_ga(
+            CensorTrialEvaluator(
+                "india", "http", trials=2, seed=5, impairment=Impairment.none()
+            )
+        )
+        assert str(null.best) == str(baseline.best)
+        assert null.best_fitness == baseline.best_fitness
+        assert null.generations_run == baseline.generations_run
+
+    def test_evaluator_specs_keep_pre_impairment_hashes(self):
+        """The evaluator's specs (and thus its cache keys) are the same
+        objects whether the impairment field is None or a null policy —
+        existing GA result caches stay valid."""
+        legacy = TrialSpec.build("india", "http", server_strategy=None, seed=1)
+        from_default = TrialSpec.build(
+            "india", "http", server_strategy=None, seed=1, impairment=None
+        )
+        from_null = TrialSpec.build(
+            "india", "http", server_strategy=None, seed=1, impairment=Impairment.none()
+        )
+        assert from_default.spec_hash() == legacy.spec_hash()
+        assert from_null.spec_hash() == legacy.spec_hash()
+
+    def test_impaired_evaluator_does_not_disturb_fitness_of_off_runs(self):
+        """Interleaving impaired evaluations between unimpaired ones
+        leaves the unimpaired fitness values untouched — the impairment
+        stream is split per trial, not shared mutable state."""
+        from repro.core import deployed_strategy
+
+        strategy = deployed_strategy(8)
+        plain = CensorTrialEvaluator("india", "http", trials=3, seed=5)
+        impaired = CensorTrialEvaluator(
+            "india", "http", trials=3, seed=5, impairment={"loss": 0.2}, net_seed=7
+        )
+        before = plain(strategy)
+        impaired(strategy)
+        after = plain(strategy)
+        assert before == after
+
+    def test_impaired_evaluator_runs_and_differs(self):
+        from repro.core import deployed_strategy
+
+        strategy = deployed_strategy(8)
+        plain = CensorTrialEvaluator("india", "http", trials=4, seed=5)
+        heavy = CensorTrialEvaluator(
+            "india", "http", trials=4, seed=5, impairment={"loss": 0.4}, net_seed=7
+        )
+        # Heavy loss breaks connections the strategy would otherwise
+        # save; the evaluator must reflect that in fitness.
+        assert heavy(strategy) < plain(strategy)

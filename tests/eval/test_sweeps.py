@@ -69,3 +69,49 @@ class TestFormatting:
     def test_format_sweep(self):
         text = format_sweep("demo", {1: 0.5, 2: True})
         assert "demo" in text and "50%" in text and "True" in text
+
+
+class TestImpairmentRobustnessSweep:
+    def test_sweep_covers_all_countries_and_rates(self):
+        from repro.eval.sweeps import impairment_robustness_sweep
+
+        curves = impairment_robustness_sweep(
+            loss_rates=(0.0, 0.05), trials=4, seed=0, net_seed=1
+        )
+        assert sorted(curves) == ["china", "india", "iran", "kazakhstan"]
+        for curve in curves.values():
+            assert sorted(curve) == [0.0, 0.05]
+            for rate in curve.values():
+                assert 0.0 <= rate <= 1.0
+
+    def test_sweep_is_deterministic(self):
+        from repro.eval.sweeps import impairment_robustness_sweep
+
+        kwargs = dict(loss_rates=(0.05,), trials=4, seed=3, net_seed=1)
+        assert impairment_robustness_sweep(**kwargs) == impairment_robustness_sweep(
+            **kwargs
+        )
+
+    def test_zero_loss_matches_unimpaired_measurement(self):
+        """The 0.0 point of every curve is the plain success_rate — the
+        sweep's baseline is the pre-impairment measurement, not a
+        degenerate impaired one."""
+        from repro.core import deployed_strategy
+        from repro.eval.runner import success_rate
+        from repro.eval.sweeps import ROBUSTNESS_CASES, impairment_robustness_sweep
+
+        curves = impairment_robustness_sweep(
+            loss_rates=(0.0,), countries=("india",), trials=5, seed=2
+        )
+        protocol, number = ROBUSTNESS_CASES["india"]
+        direct = success_rate(
+            "india", protocol, deployed_strategy(number), trials=5, seed=2
+        )
+        assert curves["india"][0.0] == direct
+
+    def test_format_robustness(self):
+        from repro.eval.sweeps import format_robustness
+
+        text = format_robustness({"india": {0.0: 1.0, 0.05: 0.5}})
+        assert "india" in text
+        assert "5.0%" in text

@@ -1,0 +1,93 @@
+"""TrialSpec handling of the impairment field: hashing, payloads, parity.
+
+Cache-key schema v2 is additive: specs without impairment keep the exact
+canonical form (and hashes) they had before the impairment layer existed,
+while impaired specs hash the canonical minimal policy dict.
+"""
+
+import pytest
+
+from repro.netsim import Impairment
+from repro.runtime import SpecError, TrialExecutor, TrialSpec
+
+
+class TestCanonicalization:
+    def test_unimpaired_spec_omits_the_key(self):
+        spec = TrialSpec.build("china", "http", None, seed=1)
+        assert "impairment" not in spec.as_dict()
+        assert "impairment" not in spec.canonical_key()
+
+    def test_policy_and_dict_forms_hash_equally(self):
+        from_policy = TrialSpec.build(
+            "china", "http", None, seed=1, impairment=Impairment(loss=0.1)
+        )
+        from_dict = TrialSpec.build(
+            "china", "http", None, seed=1, impairment={"loss": 0.1}
+        )
+        assert from_policy.spec_hash() == from_dict.spec_hash()
+
+    def test_null_policy_hashes_like_no_policy(self):
+        bare = TrialSpec.build("china", "http", None, seed=1)
+        null = TrialSpec.build(
+            "china", "http", None, seed=1, impairment=Impairment.none()
+        )
+        assert null.spec_hash() == bare.spec_hash()
+
+    def test_impaired_hash_differs(self):
+        bare = TrialSpec.build("china", "http", None, seed=1)
+        impaired = TrialSpec.build(
+            "china", "http", None, seed=1, impairment={"loss": 0.1}
+        )
+        assert impaired.spec_hash() != bare.spec_hash()
+
+    def test_distinct_policies_hash_distinctly(self):
+        a = TrialSpec.build("china", "http", None, seed=1, impairment={"loss": 0.1})
+        b = TrialSpec.build("china", "http", None, seed=1, impairment={"loss": 0.2})
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_bad_impairment_raises_spec_error(self):
+        with pytest.raises(SpecError):
+            TrialSpec.build("china", "http", None, impairment={"lag": 1})
+        with pytest.raises(SpecError):
+            TrialSpec.build("china", "http", None, impairment={"loss": 2.0})
+
+
+class TestExecutionParity:
+    def test_spec_run_applies_the_policy(self):
+        impaired = TrialSpec.build(
+            "china", "http", None, seed=3, impairment={"loss": 0.15}, net_seed=1
+        )
+        result = impaired.run(keep_trace=True)
+        assert any(e.kind == "loss" for e in result.trace.events)
+
+    def test_serial_parallel_and_cached_agree(self, tmp_path):
+        specs = [
+            TrialSpec.build(
+                "iran", "https", None, seed=seed,
+                impairment={"loss": 0.1}, net_seed=seed,
+            )
+            for seed in range(6)
+        ]
+        serial = TrialExecutor(workers=1).run_batch(specs)
+        parallel = TrialExecutor(workers=2).run_batch(specs)
+        cached_executor = TrialExecutor(workers=1, cache=str(tmp_path))
+        cached_executor.run_batch(specs)  # populate
+        cached = cached_executor.run_batch(specs)  # all hits
+        assert cached_executor.last_stats.cache_hits == len(specs)
+        for a, b, c in zip(serial, parallel, cached):
+            assert (a.outcome, a.succeeded, a.censored) == (
+                b.outcome, b.succeeded, b.censored
+            )
+            assert (a.outcome, a.succeeded, a.censored) == (
+                c.outcome, c.succeeded, c.censored
+            )
+
+    def test_impaired_and_bare_results_never_cross_in_cache(self, tmp_path):
+        executor = TrialExecutor(cache=str(tmp_path))
+        bare = TrialSpec.build("iran", "http", None, seed=4)
+        impaired = TrialSpec.build(
+            "iran", "http", None, seed=4, impairment={"loss": 0.9}, net_seed=2
+        )
+        executor.run_batch([bare])
+        executor.run_batch([impaired])
+        assert executor.last_stats.cache_hits == 0  # distinct cache keys

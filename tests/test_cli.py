@@ -156,3 +156,43 @@ class TestRuntimeFlags:
     def test_matrix_accepts_runtime_flags(self, capsys):
         assert main(["matrix", "--workers", "2", "--no-cache"]) == 0
         assert "china" in capsys.readouterr().out
+
+
+class TestImpairmentFlags:
+    def test_rates_accepts_impairment_flags(self, capsys):
+        assert main([
+            "rates", "china", "http", "--strategy", "1", "--trials", "4",
+            "--loss", "0.05", "--net-seed", "1",
+        ]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_loss_flag_range_checked(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rates", "china", "http", "--loss", "1.5"])
+
+    def test_robustness_json_deterministic(self, capsys):
+        argv = [
+            "robustness", "--trials", "2", "--loss-rates", "0.05",
+            "--net-seed", "1", "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        payload = json.loads(first)
+        assert sorted(payload) == ["china", "india", "iran", "kazakhstan"]
+
+    def test_robustness_table_output(self, capsys):
+        assert main([
+            "robustness", "--trials", "2", "--countries", "india",
+            "--loss-rates", "0", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "india" in out
+
+    def test_matrix_accepts_impairment_flags(self, capsys):
+        assert main(["matrix", "--loss", "0.02", "--net-seed", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
