@@ -10,9 +10,18 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..netsim import DIRECTION_C2S, Middlebox, PathContext
+from ..obs.metrics import Counter
 from ..packets import Packet, make_tcp_packet
 
 __all__ = ["Censor", "flow_key", "client_oriented_key"]
+
+#: Every censorship action, by censor and stated reason. Deterministic:
+#: verdicts depend only on the spec and seed, never on wall time.
+_CENSOR_VERDICTS = Counter(
+    "repro_censor_verdicts_total",
+    "Censorship actions taken, by censor and reason",
+    ("censor", "reason"),
+)
 
 FlowKey = Tuple[str, int, str, int]
 
@@ -85,6 +94,7 @@ class Censor(Middlebox):
     def record_censorship(self, ctx: PathContext, packet: Packet, reason: str) -> None:
         """Count and trace a censorship action."""
         self.censorship_events += 1
+        _CENSOR_VERDICTS.inc(censor=self.name, reason=reason)
         ctx.record("censor", packet, reason)
 
     @staticmethod

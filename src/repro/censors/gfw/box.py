@@ -26,6 +26,7 @@ import random
 from typing import Callable, Dict, Optional, Tuple
 
 from ...netsim import PathContext
+from ...obs.metrics import Counter
 from ...packets import Packet
 from ...tcpstack.endpoint import seq_delta
 from ..base import Censor, FlowKey, flow_key
@@ -51,6 +52,20 @@ MODE_IGNORED = "ignored"
 
 _WINDOW = 65536
 _MOD = 1 << 32
+
+#: §5.1 resync-state entries, by protocol box and the anomaly event that
+#: fired. Deterministic: draws come from the trial's seeded RNG.
+_RESYNC_EVENTS = Counter(
+    "repro_gfw_resync_total",
+    "GFW box resynchronization-state entries, by protocol and trigger",
+    ("protocol", "event"),
+)
+#: Residual-censorship timers armed after a censorship verdict.
+_RESIDUAL_TIMERS = Counter(
+    "repro_gfw_residual_timers_total",
+    "Residual-censorship timers armed on (server, port) endpoints",
+    ("protocol",),
+)
 
 #: Verdict function: payload bytes -> None (not mine) / False / True.
 Matcher = Callable[[bytes, KeywordSet], Optional[bool]]
@@ -174,6 +189,7 @@ class ProtocolBox:
         if fired and tcb.mode == MODE_TRACKING:
             tcb.mode = MODE_RESYNC
             tcb.resync_target = RESYNC_TARGETS[event]
+            _RESYNC_EVENTS.inc(protocol=self.profile.protocol, event=event)
 
     def _classify_server_event(self, tcb: FlowTCB, packet: Packet) -> Optional[str]:
         tcp = packet.tcp
@@ -287,3 +303,4 @@ class ProtocolBox:
             self.residual[(tcb.server_ip, tcb.server_port)] = (
                 ctx.now + self.profile.residual_duration
             )
+            _RESIDUAL_TIMERS.inc(protocol=self.profile.protocol)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List
 
 from ..netsim import PathContext
+from ..obs.metrics import Counter
 from ..packets import Packet
 from .base import Censor, FlowKey, flow_key
 from .dpi import match_http, match_https
@@ -25,6 +26,13 @@ __all__ = ["IranCensor", "BLACKHOLE_DURATION"]
 
 #: How long Iran blackholes a flow after a forbidden request (seconds).
 BLACKHOLE_DURATION = 60.0
+
+#: Client packets swallowed by an already-armed blackhole (the verdict
+#: that armed it is counted separately in repro_censor_verdicts_total).
+_BLACKHOLE_DROPS = Counter(
+    "repro_iran_blackhole_drops_total",
+    "Packets dropped by Iran's in-path blackhole after the verdict",
+)
 
 
 class IranCensor(Censor):
@@ -54,6 +62,7 @@ class IranCensor(Censor):
         key = flow_key(packet)
         expiry = self.blackholed.get(key)
         if expiry is not None and ctx.now < expiry:
+            _BLACKHOLE_DROPS.inc()
             ctx.record("drop", packet, "blackholed")
             return []
         if packet.load and self._forbidden(packet):

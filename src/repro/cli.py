@@ -8,10 +8,16 @@ Subcommands:
 - ``waterfall``  render the packet waterfall for a strategy;
 - ``evolve``     run the genetic algorithm against a censor;
 - ``matrix``     measure the Table 1 censorship matrix;
-- ``robustness`` sweep strategy success against per-link packet loss.
+- ``robustness`` sweep strategy success against per-link packet loss;
+- ``profile``    per-phase timing breakdown of a trial batch.
 
 ``rates``, ``matrix`` and ``reproduce`` accept network-impairment flags
 (``--loss/--dup/--reorder/--net-seed``) to run under a degraded path.
+
+Batch commands accept ``--telemetry DIR`` (full observability artifact
+tree: metrics JSON + Prometheus text + structured run log) and
+``--metrics-json FILE`` (just the metric snapshot); see
+``docs/observability.md``.
 
 Examples::
 
@@ -99,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--stats", action="store_true",
             help="print executor counters (trials run, cache hits, wall time)",
         )
+        p.add_argument(
+            "--telemetry", default=None, metavar="DIR",
+            help="write the observability artifact tree (metrics JSON, "
+                 "Prometheus text, structured run log) to DIR",
+        )
+        p.add_argument(
+            "--metrics-json", default=None, metavar="FILE",
+            help="write the run's metric snapshot as JSON to FILE",
+        )
 
     def probability(text):
         value = float(text)
@@ -176,6 +191,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_runtime_flags(p_repro)
     add_impairment_flags(p_repro)
 
+    p_profile = sub.add_parser(
+        "profile", help="per-phase timing breakdown of a trial batch"
+    )
+    p_profile.add_argument(
+        "--country", choices=_COUNTRIES, default="china",
+        help="censor to profile against (default: china)",
+    )
+    p_profile.add_argument(
+        "--protocol", choices=_PROTOCOLS, default="http",
+        help="application protocol (default: http)",
+    )
+    p_profile.add_argument(
+        "--strategy", default=None,
+        help="paper strategy number (1-11) or a Geneva strategy string",
+    )
+    p_profile.add_argument("--trials", type=int, default=5)
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument(
+        "--metrics-json", default=None, metavar="FILE",
+        help="also write the profiled run's metric snapshot to FILE",
+    )
+
     p_robust = sub.add_parser(
         "robustness", help="success-vs-loss curves per country"
     )
@@ -224,6 +261,55 @@ def _resolve_impairment(args):
     return Impairment(loss=args.loss, dup=args.dup, reorder=args.reorder)
 
 
+def _make_executor(args, cache_default=None):
+    """Build the command's TrialExecutor, telemetry-enabled if requested.
+
+    Metric collection turns on only when an output was asked for
+    (``--telemetry``/``--metrics-json``), so unmeasured runs pay nothing
+    for snapshot pickling; a run log is kept only for the full
+    ``--telemetry`` tree.
+    """
+    from .runtime import TrialExecutor
+
+    runlog = None
+    if args.telemetry:
+        from .obs import RunLog
+
+        runlog = RunLog()
+    return TrialExecutor(
+        workers=args.workers,
+        cache=_resolve_cache(args, default=cache_default),
+        collect_metrics=bool(args.telemetry or args.metrics_json),
+        runlog=runlog,
+    )
+
+
+def _finish_run(args, executor, command: str) -> None:
+    """Shared epilogue for batch commands: --stats and telemetry output."""
+    if args.stats:
+        for line in executor.format_stats().splitlines():
+            print(f"stats: {line}")
+    if not (args.telemetry or args.metrics_json):
+        return
+    from .obs import write_metrics_json, write_telemetry
+
+    snapshot = executor.metrics_snapshot()
+    if args.metrics_json:
+        write_metrics_json(args.metrics_json, snapshot)
+        print(f"wrote metrics to {args.metrics_json}")
+    if args.telemetry:
+        meta = {
+            "command": command,
+            "run_stats": executor.total_stats.as_dict(),
+        }
+        if executor.cache is not None:
+            meta["cache_stats"] = executor.cache.stats.as_dict()
+        written = write_telemetry(
+            args.telemetry, snapshot, runlog=executor.runlog, run_meta=meta
+        )
+        print(f"wrote {len(written)} telemetry artifacts to {args.telemetry}/")
+
+
 def _resolve_strategy(text: Optional[str]) -> Optional[Strategy]:
     if text is None:
         return None
@@ -251,9 +337,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "matrix":
-        from .runtime import TrialExecutor
-
-        executor = TrialExecutor(workers=args.workers, cache=_resolve_cache(args))
+        executor = _make_executor(args)
         print(
             format_matrix(
                 measure_censorship_matrix(
@@ -264,8 +348,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             )
         )
-        if args.stats:
-            print(f"stats: {executor.total_stats.format()}")
+        _finish_run(args, executor, "matrix")
+        return 0
+
+    if args.command == "profile":
+        from .obs import format_profile, profile_run
+
+        result = profile_run(
+            _country(args.country),
+            args.protocol,
+            strategy=_resolve_strategy(args.strategy),
+            trials=args.trials,
+            seed=args.seed,
+        )
+        print(format_profile(result))
+        if args.metrics_json:
+            from .obs import write_metrics_json
+
+            write_metrics_json(args.metrics_json, result.snapshot)
+            print(f"wrote metrics to {args.metrics_json}")
         return 0
 
     if args.command == "robustness":
@@ -274,9 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             format_robustness,
             impairment_robustness_sweep,
         )
-        from .runtime import TrialExecutor
 
-        executor = TrialExecutor(workers=args.workers, cache=_resolve_cache(args))
+        executor = _make_executor(args)
         curves = impairment_robustness_sweep(
             loss_rates=tuple(args.loss_rates) if args.loss_rates else DEFAULT_LOSS_GRID,
             countries=args.countries,
@@ -297,8 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(json.dumps(payload, sort_keys=True, indent=2))
         else:
             print(format_robustness(curves))
-        if args.stats:
-            print(f"stats: {executor.total_stats.format()}")
+        _finish_run(args, executor, "robustness")
         return 0
 
     if args.command == "reproduce":
@@ -309,16 +408,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         import pathlib
 
         default_cache = str(pathlib.Path(args.out) / ".repro_cache")
+        executor = _make_executor(args, cache_default=default_cache)
         written = reproduce_all(
             args.out,
             trials=args.trials,
             only=args.only,
-            workers=args.workers,
-            cache=_resolve_cache(args, default=default_cache),
             impairment=_resolve_impairment(args),
             net_seed=args.net_seed,
+            executor=executor,
         )
         print(f"wrote {len(written)} artifacts to {args.out}/")
+        _finish_run(args, executor, "reproduce")
         return 0
 
     if args.command == "explain":
@@ -373,9 +473,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if result.succeeded else 1
 
     if args.command == "rates":
-        from .runtime import TrialExecutor
-
-        executor = TrialExecutor(workers=args.workers, cache=_resolve_cache(args))
+        executor = _make_executor(args)
         rate = success_rate(
             country,
             args.protocol,
@@ -392,8 +490,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{args.country}/{args.protocol} strategy={label}: "
             f"{rate * 100:.1f}% over {args.trials} trials"
         )
-        if args.stats:
-            print(f"stats: {executor.last_stats.format()}")
+        _finish_run(args, executor, "rates")
         return 0
 
     if args.command == "waterfall":

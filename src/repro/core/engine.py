@@ -10,13 +10,24 @@ unmodified client.
 from __future__ import annotations
 
 import random
+import time
 from typing import List, Optional
 
+from ..obs import spans as _spans
+from ..obs.metrics import Counter
 from ..packets import Packet
 from ..tcpstack import Host
 from .dsl import Strategy
 
 __all__ = ["StrategyEngine", "install_strategy"]
+
+#: Strategy-engine interventions: outbound packets a trigger actually
+#: rewrote (forwarded-unchanged traffic is not counted).
+_STRATEGY_INTERCEPTS = Counter(
+    "repro_strategy_intercepts_total",
+    "Outbound packets modified by an installed strategy",
+    ("direction",),
+)
 
 
 class StrategyEngine:
@@ -35,13 +46,24 @@ class StrategyEngine:
 
     def outbound_filter(self, packet: Packet) -> List[Packet]:
         """Filter suitable for :attr:`Host.outbound_filters`."""
-        result = self.strategy.apply_outbound(packet, self.rng)
+        if _spans.ENABLED:
+            t0 = time.perf_counter()
+            result = self.strategy.apply_outbound(packet, self.rng)
+            _spans.add("simulate/strategy", time.perf_counter() - t0)
+        else:
+            result = self.strategy.apply_outbound(packet, self.rng)
         if len(result) != 1 or result[0] is not packet:
             self.packets_intercepted += 1
+            _STRATEGY_INTERCEPTS.inc(direction="outbound")
         return result
 
     def inbound_filter(self, packet: Packet) -> List[Packet]:
         """Filter suitable for :attr:`Host.inbound_filters`."""
+        if _spans.ENABLED:
+            t0 = time.perf_counter()
+            result = self.strategy.apply_inbound(packet, self.rng)
+            _spans.add("simulate/strategy", time.perf_counter() - t0)
+            return result
         return self.strategy.apply_inbound(packet, self.rng)
 
 

@@ -13,6 +13,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ...obs import spans as _spans
+from ...obs.metrics import Counter
 from ..dsl import Strategy
 from .crossover import crossover
 from .fitness import FitnessEvaluator
@@ -20,6 +22,18 @@ from .genes import GenePool, server_side_pool
 from .mutation import mutate
 
 __all__ = ["GAConfig", "GeneticAlgorithm", "EvolutionResult"]
+
+#: Evolution-loop progress. Deterministic: the GA runs on its own
+#: seeded RNG, so generation and evaluation counts replay exactly.
+_GA_GENERATIONS = Counter(
+    "repro_ga_generations_total",
+    "Generations the evolution loop has executed",
+)
+_GA_FITNESS_EVALS = Counter(
+    "repro_ga_fitness_evals_total",
+    "Fitness lookups, split by real evaluations vs memo hits",
+    ("source",),  # evaluated | memoized
+)
 
 
 @dataclass
@@ -91,6 +105,9 @@ class GeneticAlgorithm:
         key = str(strategy)
         if key not in self._cache:
             self._cache[key] = self.evaluator(strategy)
+            _GA_FITNESS_EVALS.inc(source="evaluated")
+        else:
+            _GA_FITNESS_EVALS.inc(source="memoized")
         return self._cache[key]
 
     def _tournament(self, scored: List[Tuple[float, Strategy]]) -> Strategy:
@@ -112,11 +129,13 @@ class GeneticAlgorithm:
         stale = 0
 
         for generation in range(config.generations):
-            scored = sorted(
-                ((self.fitness(ind), ind) for ind in population),
-                key=lambda item: item[0],
-                reverse=True,
-            )
+            _GA_GENERATIONS.inc()
+            with _spans.span("ga/generation"):
+                scored = sorted(
+                    ((self.fitness(ind), ind) for ind in population),
+                    key=lambda item: item[0],
+                    reverse=True,
+                )
             top_fitness, top = scored[0]
             history.append(top_fitness)
             if top_fitness > best_fitness:

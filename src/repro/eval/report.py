@@ -168,19 +168,24 @@ def reproduce_all(
     cache=None,
     impairment=None,
     net_seed: Optional[int] = None,
+    executor=None,
 ) -> List[str]:
     """Regenerate the selected artifacts into ``out_dir``.
 
     ``workers``/``cache`` configure one shared
     :class:`~repro.runtime.TrialExecutor` for the batch-style experiments
     (currently Tables 1 and 2); its cumulative :class:`RunStats` are
-    echoed at the end. ``impairment``/``net_seed`` apply a network
-    impairment to the experiments that support one (Table 1 and the
-    robustness curves). Returns the list of files written.
+    echoed at the end. Pass ``executor`` to supply the shared executor
+    directly (the CLI does, so telemetry collection survives the run);
+    ``workers``/``cache`` are then ignored. ``impairment``/``net_seed``
+    apply a network impairment to the experiments that support one
+    (Table 1 and the robustness curves). Returns the list of files
+    written.
     """
     from ..runtime import TrialExecutor
 
-    executor = TrialExecutor(workers=workers, cache=cache)
+    if executor is None:
+        executor = TrialExecutor(workers=workers, cache=cache)
     directory = pathlib.Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)
     wanted = only if only else list(EXPERIMENTS)
@@ -200,5 +205,6 @@ def reproduce_all(
         written.append(str(path))
         echo(f"[{name}] wrote {path}")
     if executor.total_stats.requested:
-        echo(f"[stats] {executor.total_stats.format()}")
+        for line in executor.format_stats().splitlines():
+            echo(f"[stats] {line}")
     return written

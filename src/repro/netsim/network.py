@@ -11,8 +11,11 @@ faithfully), and full packet tracing.
 from __future__ import annotations
 
 import random
+import time
 from typing import List, Optional, Protocol, Sequence
 
+from ..obs import spans as _spans
+from ..obs.metrics import Counter
 from ..packets import Packet
 from .events import Scheduler
 from .impairment import Impairment, corrupt_payload
@@ -20,6 +23,26 @@ from .middlebox import DIRECTION_C2S, DIRECTION_S2C, Middlebox, PathContext
 from .trace import Trace
 
 __all__ = ["Network", "NetworkNode"]
+
+#: Wire-level packet events. Prebound per event kind: these fire once
+#: per packet, so each increment must stay a single dict operation.
+_NET_PACKETS = Counter(
+    "repro_net_packets_total",
+    "Packets handled by the network path, by event",
+    ("event",),  # send | inject | recv | drop
+)
+_PKT_SEND = _NET_PACKETS.labels(event="send")
+_PKT_INJECT = _NET_PACKETS.labels(event="inject")
+_PKT_RECV = _NET_PACKETS.labels(event="recv")
+_PKT_DROP = _NET_PACKETS.labels(event="drop")
+
+#: Impairment actions actually applied, per kind and direction.
+#: Deterministic: draws come from the trial's seeded net RNG.
+_IMPAIRMENT_EVENTS = Counter(
+    "repro_impairment_events_total",
+    "Impairment actions applied on the path, by kind and direction",
+    ("kind", "direction"),  # kind: loss | corrupt | reorder | dup
+)
 
 
 class NetworkNode(Protocol):
@@ -72,6 +95,15 @@ class Network:
             PathContext(self, index, getattr(box, "name", f"mb{index}"))
             for index, box in enumerate(self.middleboxes)
         ]
+        # Span name per box, precomputed so the per-packet path never
+        # re-classifies. Censors are recognized structurally (they all
+        # carry a censorship_events counter) to avoid importing the
+        # censors package from netsim.
+        self._box_spans = [
+            "simulate/censor" if hasattr(box, "censorship_events")
+            else "simulate/middlebox"
+            for box in self.middleboxes
+        ]
 
     # ------------------------------------------------------------------
     # Entry points
@@ -86,11 +118,13 @@ class Network:
             start = len(self.middleboxes) - 1
         else:
             raise ValueError(f"unknown endpoint {node!r}")
+        _PKT_SEND.inc()
         self.trace.record(self.scheduler.now, "send", node.name, packet)
         self._schedule_hop(packet, direction, start, packet.ip.ttl)
 
     def inject_from(self, position: int, packet: Packet, toward: str, name: str) -> None:
         """Inject ``packet`` at middlebox ``position`` heading ``toward`` an end."""
+        _PKT_INJECT.inc()
         self.trace.record(self.scheduler.now, "inject", name, packet, f"toward {toward}")
         if toward == "server":
             direction = DIRECTION_C2S
@@ -131,10 +165,12 @@ class Network:
         now = self.scheduler.now
         label = f"link{index}"
         if imp.loss and rng.random() < imp.loss:
+            _IMPAIRMENT_EVENTS.inc(kind="loss", direction=direction)
             self.trace.record(now, "loss", label, packet, "impairment: lost")
             return
         if imp.corrupt and packet.load and rng.random() < imp.corrupt:
             packet, offset = corrupt_payload(packet, rng)
+            _IMPAIRMENT_EVENTS.inc(kind="corrupt", direction=direction)
             self.trace.record(
                 now, "corrupt", label, packet,
                 f"impairment: payload bit flipped at offset {offset}",
@@ -144,12 +180,14 @@ class Network:
             delay += rng.random() * imp.jitter
         if imp.reorder and rng.random() < imp.reorder:
             delay += imp.reorder_delay
+            _IMPAIRMENT_EVENTS.inc(kind="reorder", direction=direction)
             self.trace.record(
                 now, "reorder", label, packet,
                 f"impairment: held back {imp.reorder_delay * 1000:.1f}ms",
             )
         if imp.dup and rng.random() < imp.dup:
             duplicate = packet.copy()
+            _IMPAIRMENT_EVENTS.inc(kind="dup", direction=direction)
             self.trace.record(now, "dup", label, duplicate, "impairment: duplicated")
             self.scheduler.schedule(
                 delay + imp.dup_spacing,
@@ -163,15 +201,22 @@ class Network:
             self._deliver(packet, direction, ttl)
             return
         if ttl < 1:
+            _PKT_DROP.inc()
             self.trace.record(
                 self.scheduler.now, "drop", f"hop{index}", packet, "ttl expired"
             )
             return
         box = self.middleboxes[index]
         ctx = self._contexts[index]
-        forwarded = list(box.process(packet, direction, ctx))
+        if _spans.ENABLED:
+            t0 = time.perf_counter()
+            forwarded = list(box.process(packet, direction, ctx))
+            _spans.add(self._box_spans[index], time.perf_counter() - t0)
+        else:
+            forwarded = list(box.process(packet, direction, ctx))
         next_index = index + 1 if direction == DIRECTION_C2S else index - 1
         if not forwarded:
+            _PKT_DROP.inc()
             self.trace.record(self.scheduler.now, "drop", ctx.name, packet, "dropped in-path")
             return
         for out in forwarded:
@@ -180,7 +225,14 @@ class Network:
     def _deliver(self, packet: Packet, direction: str, ttl: int) -> None:
         node = self.server if direction == DIRECTION_C2S else self.client
         if ttl < 1:
+            _PKT_DROP.inc()
             self.trace.record(self.scheduler.now, "drop", node.name, packet, "ttl expired")
             return
+        _PKT_RECV.inc()
         self.trace.record(self.scheduler.now, "recv", node.name, packet)
-        node.receive(packet)
+        if _spans.ENABLED:
+            t0 = time.perf_counter()
+            node.receive(packet)
+            _spans.add("simulate/endpoint", time.perf_counter() - t0)
+        else:
+            node.receive(packet)

@@ -1,0 +1,68 @@
+"""``repro.obs`` — the unified observability subsystem.
+
+Four parts, all dependency-free and deterministic-by-construction:
+
+- :mod:`~repro.obs.metrics` — labeled Counters/Gauges/Histograms whose
+  snapshots are plain dicts that merge associatively, so process-pool
+  workers return their snapshot next to trial results and the executor
+  folds them into one run-level view;
+- :mod:`~repro.obs.spans` — phase/timer spans (wall + virtual time),
+  off by default, breaking a trial into spec decode / build / simulate /
+  finalize and timing executor batches, cache lookups, and GA
+  generations;
+- :mod:`~repro.obs.runlog` — structured JSONL run logs with a
+  content-derived run-id and a bounded flight recorder that dumps the
+  last N trace events on a trial exception or a golden-verdict
+  disagreement;
+- :mod:`~repro.obs.export` — JSON and Prometheus-text exposition into
+  a ``--telemetry DIR`` artifact tree.
+
+Nothing in here imports the simulator; instrumented modules import
+``repro.obs`` (never the other way around), so the subsystem stays a
+leaf and cannot create import cycles.
+"""
+
+from . import metrics, spans
+from .export import (
+    deterministic_view,
+    snapshot_to_prometheus,
+    write_metrics_json,
+    write_telemetry,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    collecting,
+    default_registry,
+    merge_snapshots,
+)
+from .profile import ProfileResult, format_profile, profile_run
+from .runlog import FlightRecorder, RunLog, activate, active_runlog, run_id_for
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "ProfileResult",
+    "RunLog",
+    "activate",
+    "active_registry",
+    "active_runlog",
+    "collecting",
+    "default_registry",
+    "deterministic_view",
+    "format_profile",
+    "merge_snapshots",
+    "metrics",
+    "profile_run",
+    "run_id_for",
+    "snapshot_to_prometheus",
+    "spans",
+    "write_metrics_json",
+    "write_telemetry",
+]

@@ -1,0 +1,117 @@
+"""Lightweight phase spans: wall + virtual time, off by default.
+
+A span brackets one phase of work — ``trial/spec_decode``,
+``trial/simulate``, ``executor/batch``, ``ga/generation`` — and records
+three metric families into the active registry:
+
+- ``repro_span_seconds_total{span=}``  cumulative wall seconds
+  (non-deterministic: excluded from determinism diffs);
+- ``repro_span_vtime_seconds_total{span=}``  cumulative *virtual*
+  seconds when the span was given a clock (deterministic);
+- ``repro_span_calls_total{span=}``  invocation count (deterministic).
+
+Spans are **disabled by default** and every call site guards on the
+module flag, so the instrumented hot paths (per-packet middlebox
+processing, endpoint delivery) pay one attribute check when telemetry
+is off — which is what keeps the no-flags executor benchmark within
+the <5% overhead budget and golden traces byte-identical.
+
+Phase names form a hierarchy by convention (``parent/child``). Nested
+spans are *inclusive*: a parent's wall time contains its children's.
+The ``profile`` command's breakdown therefore sums only sibling phases
+(``trial/*``), which are contiguous brackets of ``trial`` and account
+for ≈99% of its wall time by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .metrics import Counter, active_registry
+
+__all__ = [
+    "ENABLED",
+    "enable",
+    "enabled",
+    "profiling",
+    "span",
+    "add",
+    "SPAN_SECONDS",
+    "SPAN_VTIME",
+    "SPAN_CALLS",
+]
+
+#: Global gate. Hot paths read this attribute directly; everything else
+#: goes through :func:`span`, which no-ops when it is False.
+ENABLED = False
+
+SPAN_SECONDS = Counter(
+    "repro_span_seconds_total",
+    "Cumulative wall-clock seconds spent inside each span",
+    ("span",),
+    deterministic=False,
+)
+SPAN_VTIME = Counter(
+    "repro_span_vtime_seconds_total",
+    "Cumulative virtual (simulated) seconds elapsed inside each span",
+    ("span",),
+)
+SPAN_CALLS = Counter(
+    "repro_span_calls_total",
+    "Number of times each span was entered",
+    ("span",),
+)
+
+
+def enabled() -> bool:
+    """Whether span timing is currently on."""
+    return ENABLED
+
+
+def enable(on: bool = True) -> None:
+    """Turn span timing on or off process-wide."""
+    global ENABLED
+    ENABLED = on
+
+
+@contextmanager
+def profiling() -> Iterator[None]:
+    """Enable spans for the duration of a block (restores prior state)."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = True
+    try:
+        yield
+    finally:
+        ENABLED = previous
+
+
+def add(name: str, wall: float, vtime: Optional[float] = None, calls: int = 1) -> None:
+    """Record an already-measured span (hot paths time inline and call
+    this, avoiding context-manager overhead per packet)."""
+    registry = active_registry()
+    key = f"span={name}"
+    registry._inc(SPAN_SECONDS._family, key, wall)
+    registry._inc(SPAN_CALLS._family, key, calls)
+    if vtime is not None:
+        registry._inc(SPAN_VTIME._family, key, vtime)
+
+
+@contextmanager
+def span(name: str, clock: Any = None) -> Iterator[None]:
+    """Bracket a phase. ``clock`` is any object with a ``.now`` attribute
+    (the discrete-event scheduler) whose delta is recorded as virtual
+    time. A no-op when spans are disabled."""
+    if not ENABLED:
+        yield
+        return
+    v0 = clock.now if clock is not None else None
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - t0
+        vtime = (clock.now - v0) if clock is not None else None
+        add(name, wall, vtime)

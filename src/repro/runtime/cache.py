@@ -24,12 +24,27 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..obs.metrics import Counter
 from .spec import TrialSpec
 
 __all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR", "resolve_cache"]
 
 #: Default on-disk store location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Cache traffic. Non-deterministic: the disk store persists across
+#: runs, so hit/miss splits depend on what earlier runs left behind.
+_CACHE_LOOKUPS = Counter(
+    "repro_cache_lookups_total",
+    "Result-cache lookups, by outcome",
+    ("result",),  # hit | miss | poisoned
+    deterministic=False,
+)
+_CACHE_STORES = Counter(
+    "repro_cache_stores_total",
+    "Results written to the cache",
+    deterministic=False,
+)
 
 
 @dataclass
@@ -117,17 +132,21 @@ class ResultCache:
         ).hexdigest()
         if stored_key != key or stored_hash != digest:
             # Poisoned/corrupt entry: the content does not address itself.
-            self.stats.poisoned += 1
+            self._poisoned()
             return None
         payload = entry.get("result")
         if not isinstance(payload, dict) or "outcome" not in payload:
-            self.stats.poisoned += 1
+            self._poisoned()
             return None
         if entry.get("result_sha") != _payload_sha(payload):
             # The result bytes were edited after the entry was written.
-            self.stats.poisoned += 1
+            self._poisoned()
             return None
         return payload
+
+    def _poisoned(self) -> None:
+        self.stats.poisoned += 1
+        _CACHE_LOOKUPS.inc(result="poisoned")
 
     # ------------------------------------------------------------------
 
@@ -138,13 +157,16 @@ class ResultCache:
         if payload is not None:
             self._memory.move_to_end(digest)
             self.stats.hits += 1
+            _CACHE_LOOKUPS.inc(result="hit")
             return payload_result(payload)
         payload = self._load_disk(digest, spec.canonical_key())
         if payload is not None:
             self._remember(digest, payload)
             self.stats.hits += 1
+            _CACHE_LOOKUPS.inc(result="hit")
             return payload_result(payload)
         self.stats.misses += 1
+        _CACHE_LOOKUPS.inc(result="miss")
         return None
 
     def store(self, spec: TrialSpec, result) -> None:
@@ -153,6 +175,7 @@ class ResultCache:
         payload = result_payload(result)
         self._remember(digest, payload)
         self.stats.stores += 1
+        _CACHE_STORES.inc()
         if self.directory is None:
             return
         path = self._disk_path(digest)

@@ -19,7 +19,13 @@ submission order. Three properties are load-bearing:
 
 Observability: every batch produces a :class:`RunStats` with requested /
 executed / cache-hit counters, wall time, per-worker trial counts, and a
-busy-time utilization estimate; executors also accumulate totals.
+busy-time utilization estimate; executors also accumulate totals. With
+``collect_metrics=True`` the executor additionally owns a
+:class:`~repro.obs.MetricsRegistry`: workers return their per-trial
+metric snapshots alongside results and the executor folds them — the
+merge is associative, so the run-level view is identical whatever the
+worker count — and an attached :class:`~repro.obs.RunLog` receives one
+structured record per trial in submission order.
 """
 
 from __future__ import annotations
@@ -30,10 +36,48 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
+from ..obs.metrics import Counter, Gauge
+from ..obs.runlog import RunLog
 from .cache import ResultCache, payload_result, result_payload, resolve_cache
 from .spec import TrialSpec
 
 __all__ = ["RunStats", "TrialExecutor"]
+
+#: Batch-level trial accounting. Deterministic: a batch of N specs always
+#: requests N and splits them the same way between cache and execution.
+_EXEC_TRIALS = Counter(
+    "repro_executor_trials_total",
+    "Specs handled by the executor, by disposition",
+    ("state",),  # requested | executed | cached
+)
+_EXEC_BATCHES = Counter(
+    "repro_executor_batches_total",
+    "Batches submitted to the executor",
+)
+_EXEC_WALL = Counter(
+    "repro_executor_wall_seconds_total",
+    "Wall-clock seconds spent inside run_batch",
+    deterministic=False,
+)
+_EXEC_BUSY = Counter(
+    "repro_executor_busy_seconds_total",
+    "Summed per-trial execution seconds across workers",
+    deterministic=False,
+)
+_EXEC_UTILIZATION = Gauge(
+    "repro_executor_utilization_ratio",
+    "Peak fraction of worker wall-time capacity spent running trials",
+    agg="max",
+    deterministic=False,
+)
+_WORKER_TRIALS = Counter(
+    "repro_worker_trials_total",
+    "Trials executed per worker (ordinal is stable; pid is informational)",
+    ("worker", "pid"),
+    deterministic=False,  # pids differ run to run
+)
 
 
 @dataclass
@@ -47,7 +91,13 @@ class RunStats:
         wall_time: Batch wall-clock seconds.
         busy_time: Summed per-trial execution seconds across workers.
         workers: Worker processes used (1 = in-process serial).
-        per_worker: Trials executed per worker, keyed by pid.
+        per_worker: Trials executed per worker, keyed by stable worker
+            ordinal (``"w0"``, ``"w1"``, ...). Ordinals are assigned by
+            the executor in first-seen order and survive pool restarts —
+            raw pids can be recycled by the OS and collide across
+            restarts, silently merging two different workers' counts, so
+            the pid is demoted to an informational label on the
+            ``repro_worker_trials_total`` metric.
     """
 
     requested: int = 0
@@ -66,15 +116,42 @@ class RunStats:
         return min(1.0, self.busy_time / (self.wall_time * self.workers))
 
     def merge(self, other: "RunStats") -> None:
-        """Fold another batch's counters into this one."""
+        """Fold another batch's counters into this one.
+
+        The fold is associative and commutative (sums, dict-sums, and a
+        ``max``), matching the metric-snapshot algebra: merging batch
+        stats A+(B+C) equals (A+B)+C equals any other grouping, so
+        totals are independent of how a run was sharded.
+        """
         self.requested += other.requested
         self.executed += other.executed
         self.cache_hits += other.cache_hits
         self.wall_time += other.wall_time
         self.busy_time += other.busy_time
         self.workers = max(self.workers, other.workers)
-        for pid, count in other.per_worker.items():
-            self.per_worker[pid] = self.per_worker.get(pid, 0) + count
+        for worker, count in other.per_worker.items():
+            self.per_worker[worker] = self.per_worker.get(worker, 0) + count
+
+    @classmethod
+    def merged(cls, parts: Sequence["RunStats"]) -> "RunStats":
+        """Pure fold of many stats into a fresh one (order-independent)."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form (telemetry ``run.json``)."""
+        return {
+            "requested": self.requested,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "wall_time": self.wall_time,
+            "busy_time": self.busy_time,
+            "workers": self.workers,
+            "utilization": self.utilization,
+            "per_worker": dict(self.per_worker),
+        }
 
     def format(self) -> str:
         """One-line human-readable rendering."""
@@ -89,7 +166,11 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: run one spec payload, return a result payload.
 
     Module-level (not a closure) so it pickles under both ``fork`` and
-    ``spawn`` start methods.
+    ``spawn`` start methods. When the executor asked for metric
+    collection (``_collect``), the trial runs inside an isolated
+    registry and its snapshot travels back with the result — the parent
+    merges snapshots associatively, so totals are identical however
+    trials were sharded across workers.
     """
     spec = TrialSpec(
         country=payload["country"],
@@ -100,12 +181,21 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         options=payload["options"],
         impairment=payload.get("impairment"),
     )
+    collect = payload.get("_collect", False)
     start = time.perf_counter()
-    result = spec.run()
+    if collect:
+        with obs_metrics.collecting() as registry:
+            result = spec.run()
+        snapshot = registry.snapshot()
+    else:
+        result = spec.run()
+        snapshot = None
     duration = time.perf_counter() - start
     out = result_payload(result)
     out["_duration"] = duration
     out["_pid"] = os.getpid()
+    if snapshot is not None:
+        out["_metrics"] = snapshot
     return out
 
 
@@ -128,6 +218,13 @@ class TrialExecutor:
             :class:`ResultCache` instance.
         start_method: Force a multiprocessing start method (tests);
             default picks ``fork`` where available.
+        collect_metrics: Collect per-trial metric snapshots (from
+            workers or in-process) into :attr:`metrics`, an executor-
+            owned registry. Off by default so unmeasured runs pay
+            nothing for snapshot pickling.
+        runlog: Optional :class:`~repro.obs.RunLog`; when set, every
+            trial (including cache hits) is recorded in submission
+            order.
 
     The worker pool is created lazily on the first parallel batch and
     **reused** across batches, so callers that issue many small batches
@@ -143,6 +240,8 @@ class TrialExecutor:
         workers: int = 1,
         cache=None,
         start_method: Optional[str] = None,
+        collect_metrics: bool = False,
+        runlog: Optional[RunLog] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -152,6 +251,15 @@ class TrialExecutor:
         self._pool = None
         self.last_stats = RunStats()
         self.total_stats = RunStats()
+        self.metrics: Optional[obs_metrics.MetricsRegistry] = (
+            obs_metrics.MetricsRegistry() if collect_metrics else None
+        )
+        self.runlog = runlog
+        # pid -> stable worker ordinal, assigned in first-seen order and
+        # never reused (pool restarts get fresh ordinals, so a recycled
+        # pid cannot silently merge with a dead worker's counts).
+        self._worker_ordinals: Dict[str, str] = {}
+        self._trial_index = 0  # submission-order counter for the runlog
 
     def close(self) -> None:
         """Tear down the worker pool (idempotent)."""
@@ -188,40 +296,104 @@ class TrialExecutor:
 
     def run_batch(self, specs: Sequence[TrialSpec]) -> List:
         """Execute ``specs`` and return results in submission order."""
+        if self.metrics is not None:
+            # Route every increment this batch produces — parent-side
+            # executor/cache counters and in-process trial metrics alike
+            # — into the executor's own registry; worker snapshots are
+            # merged into the same place below.
+            with obs_metrics.collecting(self.metrics):
+                return self._run_batch(specs)
+        return self._run_batch(specs)
+
+    def _run_batch(self, specs: Sequence[TrialSpec]) -> List:
         start = time.perf_counter()
         stats = RunStats(requested=len(specs), workers=self.workers)
         results: List[Any] = [None] * len(specs)
+        collect = self.metrics is not None
 
-        pending: List[int] = []
-        for position, spec in enumerate(specs):
-            cached = self.cache.lookup(spec) if self.cache is not None else None
-            if cached is not None:
-                results[position] = cached
-                stats.cache_hits += 1
-            else:
-                pending.append(position)
+        with obs_spans.span("executor/batch"):
+            cached_positions = set()
+            pending: List[int] = []
+            for position, spec in enumerate(specs):
+                cached = self.cache.lookup(spec) if self.cache is not None else None
+                if cached is not None:
+                    results[position] = cached
+                    cached_positions.add(position)
+                    stats.cache_hits += 1
+                else:
+                    pending.append(position)
 
-        if pending:
-            payloads = [specs[position].as_dict() for position in pending]
-            if self.workers == 1 or len(pending) == 1:
-                outs = [_execute_payload(payload) for payload in payloads]
-                stats.workers = 1
-            else:
-                outs = self._run_pool(payloads)
-            for position, out in zip(pending, outs):
-                stats.executed += 1
-                stats.busy_time += out.pop("_duration", 0.0)
-                pid = str(out.pop("_pid", os.getpid()))
-                stats.per_worker[pid] = stats.per_worker.get(pid, 0) + 1
-                result = payload_result(out)
-                results[position] = result
-                if self.cache is not None:
-                    self.cache.store(specs[position], result)
+            if pending:
+                payloads = [specs[position].as_dict() for position in pending]
+                if collect:
+                    for payload in payloads:
+                        payload["_collect"] = True
+                if self.workers == 1 or len(pending) == 1:
+                    outs = [_execute_payload(payload) for payload in payloads]
+                    stats.workers = 1
+                else:
+                    outs = self._run_pool(payloads)
+                for position, out in zip(pending, outs):
+                    stats.executed += 1
+                    duration = out.pop("_duration", 0.0)
+                    stats.busy_time += duration
+                    pid = str(out.pop("_pid", os.getpid()))
+                    worker = self._worker_ordinal(pid)
+                    stats.per_worker[worker] = stats.per_worker.get(worker, 0) + 1
+                    _WORKER_TRIALS.inc(worker=worker, pid=pid)
+                    snapshot = out.pop("_metrics", None)
+                    if snapshot is not None:
+                        obs_metrics.active_registry().merge_snapshot(snapshot)
+                    result = payload_result(out)
+                    results[position] = result
+                    if self.cache is not None:
+                        self.cache.store(specs[position], result)
 
         stats.wall_time = time.perf_counter() - start
         self.last_stats = stats
         self.total_stats.merge(stats)
+        _EXEC_BATCHES.inc()
+        _EXEC_TRIALS.inc(stats.requested, state="requested")
+        _EXEC_TRIALS.inc(stats.executed, state="executed")
+        _EXEC_TRIALS.inc(stats.cache_hits, state="cached")
+        _EXEC_WALL.inc(stats.wall_time)
+        _EXEC_BUSY.inc(stats.busy_time)
+        _EXEC_UTILIZATION.set(stats.utilization)
+        if self.runlog is not None:
+            for position, spec in enumerate(specs):
+                self.runlog.record_trial(
+                    self._trial_index,
+                    spec,
+                    results[position],
+                    cached=position in cached_positions,
+                )
+                self._trial_index += 1
         return results
+
+    def _worker_ordinal(self, pid: str) -> str:
+        ordinal = self._worker_ordinals.get(pid)
+        if ordinal is None:
+            ordinal = f"w{len(self._worker_ordinals)}"
+            self._worker_ordinals[pid] = ordinal
+        return ordinal
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The executor's merged run-level metric snapshot.
+
+        Empty unless the executor was built with ``collect_metrics=True``.
+        """
+        return self.metrics.snapshot() if self.metrics is not None else {}
+
+    def format_stats(self) -> str:
+        """Cumulative RunStats plus cache health, for ``--stats``."""
+        line = self.total_stats.format()
+        if self.cache is not None:
+            cs = self.cache.stats
+            line += (
+                f"\ncache: hits={cs.hits} misses={cs.misses} "
+                f"stores={cs.stores} poisoned={cs.poisoned}"
+            )
+        return line
 
     def _get_pool(self):
         if self._pool is None:

@@ -23,7 +23,17 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from ..obs.metrics import Counter
+
 __all__ = ["SpecError", "TrialSpec", "impairment_dict", "strategy_text"]
+
+#: Every executed trial, by target and outcome. Deterministic: the same
+#: spec batch yields the same tallies whatever the worker count.
+_TRIAL_OUTCOMES = Counter(
+    "repro_trial_outcomes_total",
+    "Trials executed, by country/protocol/outcome/evasion-success",
+    ("country", "protocol", "outcome", "succeeded"),
+)
 
 
 class SpecError(ValueError):
@@ -180,29 +190,56 @@ class TrialSpec:
         The packet trace is dropped unless ``keep_trace`` is set: traces
         hold full packet copies, which batch consumers never need and
         which must not cross process or cache boundaries.
+
+        Execution is bracketed into observability phases (spec decode,
+        trial build, simulate, finalize) — timed only when span
+        profiling is on — and reports outcome counters to the active
+        metrics registry. If the trial raises and a run log is active,
+        the tail of the packet trace is flight-dumped before the
+        exception propagates.
         """
         import copy
 
         from ..core import Strategy
-        from ..eval.runner import run_trial
+        from ..eval.runner import Trial
+        from ..obs import runlog as obs_runlog
+        from ..obs import spans
 
-        server = (
-            Strategy.parse(self.server_strategy)
-            if self.server_strategy is not None
-            else None
-        )
-        # Deep copy: Trial mutates nested options (e.g. it writes the DNS
-        # try count into the workload dict), and the spec must stay
-        # byte-stable so its content hash is the same before and after
-        # execution.
-        kwargs = copy.deepcopy(self.options)
-        if self.client_strategy is not None:
-            kwargs["client_strategy"] = Strategy.parse(self.client_strategy)
-        if self.impairment is not None:
-            kwargs["impairment"] = dict(self.impairment)
-        result = run_trial(
-            self.country, self.protocol, server, seed=self.seed, **kwargs
-        )
-        if not keep_trace:
-            result.trace = None
+        with spans.span("trial"):
+            with spans.span("trial/spec_decode"):
+                server = (
+                    Strategy.parse(self.server_strategy)
+                    if self.server_strategy is not None
+                    else None
+                )
+                # Deep copy: Trial mutates nested options (e.g. it writes
+                # the DNS try count into the workload dict), and the spec
+                # must stay byte-stable so its content hash is the same
+                # before and after execution.
+                kwargs = copy.deepcopy(self.options)
+                if self.client_strategy is not None:
+                    kwargs["client_strategy"] = Strategy.parse(self.client_strategy)
+                if self.impairment is not None:
+                    kwargs["impairment"] = dict(self.impairment)
+            with spans.span("trial/build"):
+                trial = Trial(
+                    self.country, self.protocol, server, seed=self.seed, **kwargs
+                )
+            try:
+                with spans.span("trial/simulate", clock=trial.scheduler):
+                    result = trial.run()
+            except Exception as exc:
+                log = obs_runlog.active_runlog()
+                if log is not None:
+                    log.record_exception(self, exc, trace=trial.network.trace)
+                raise
+            with spans.span("trial/finalize"):
+                _TRIAL_OUTCOMES.inc(
+                    country=self.country if self.country is not None else "none",
+                    protocol=self.protocol,
+                    outcome=result.outcome,
+                    succeeded=result.succeeded,
+                )
+                if not keep_trace:
+                    result.trace = None
         return result

@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Optional
 
+from ..obs.metrics import Counter
 from ..packets import Packet, make_tcp_packet
 from . import states
 from .personality import OSPersonality
@@ -27,6 +28,29 @@ from .personality import OSPersonality
 __all__ = ["TCPEndpoint", "seq_delta"]
 
 _MOD = 1 << 32
+
+#: Endpoint-level TCP events, labeled by OS personality. All
+#: deterministic: they depend only on the seeded simulation.
+_TCP_RETRANSMITS = Counter(
+    "repro_tcp_retransmits_total",
+    "Segments retransmitted after an RTO fire, by personality and state",
+    ("personality", "state"),
+)
+_TCP_RTO_BACKOFFS = Counter(
+    "repro_tcp_rto_backoffs_total",
+    "RTO timer fires with unacknowledged data (each doubles the backoff)",
+    ("personality",),
+)
+_TCP_FAILURES = Counter(
+    "repro_tcp_failures_total",
+    "Connections declared failed, by personality and reason",
+    ("personality", "reason"),
+)
+_TCP_DUP_SEGMENTS = Counter(
+    "repro_tcp_dup_segments_total",
+    "Fully-duplicate data segments discarded by receivers",
+    ("personality",),
+)
 
 #: Base retransmission timeout (virtual seconds) — the fallback when a
 #: personality does not override :attr:`OSPersonality.rto`.
@@ -330,6 +354,7 @@ class TCPEndpoint:
                     # impairment duplicate) of data already delivered.
                     # Discard, but still ACK below so the sender stops.
                     self.dup_segments_discarded += 1
+                    _TCP_DUP_SEGMENTS.inc(personality=self.personality.name)
                     data = b""
                 else:
                     data = data[offset:]
@@ -484,10 +509,12 @@ class TCPEndpoint:
         if nothing_outstanding:
             return
         self._retx_count += 1
+        _TCP_RTO_BACKOFFS.inc(personality=self.personality.name)
         if self._retx_count > self._retx_limit():
             self._fail("retransmission limit exceeded")
             return
         self.retransmits_sent += 1
+        _TCP_RETRANSMITS.inc(personality=self.personality.name, state=self.state)
         if self.state == states.SYN_SENT:
             self._emit("S", seq=self.iss, ack=0, options=self._syn_options())
         elif self.state == states.SYN_RCVD:
@@ -534,6 +561,7 @@ class TCPEndpoint:
             self.on_reset()
 
     def _fail(self, reason: str) -> None:
+        _TCP_FAILURES.inc(personality=self.personality.name, reason=reason)
         self.failure_reason = reason
         self._teardown()
         if self.on_failure:

@@ -87,6 +87,70 @@ class TestReaderValidation:
             read_pcap(bytes(payload))
 
 
+class TestDeterminism:
+    def test_serialization_is_pure(self, trace):
+        assert trace_to_pcap_bytes(trace) == trace_to_pcap_bytes(trace)
+
+    def test_identical_trials_export_identical_bytes(self):
+        """The pcap is a function of the spec: re-running the same seeded
+        trial yields byte-identical captures (golden-artifact property)."""
+        first = run_trial("china", "http", deployed_strategy(1), seed=3).trace
+        second = run_trial("china", "http", deployed_strategy(1), seed=3).trace
+        assert trace_to_pcap_bytes(first) == trace_to_pcap_bytes(second)
+
+    def test_different_seeds_export_different_bytes(self):
+        first = run_trial("china", "http", deployed_strategy(1), seed=3).trace
+        second = run_trial("china", "http", deployed_strategy(1), seed=4).trace
+        assert trace_to_pcap_bytes(first) != trace_to_pcap_bytes(second)
+
+
+class TestUdpRoundTrip:
+    def test_udp_packets_survive(self):
+        from repro.netsim.trace import Trace
+        from repro.packets import make_udp_packet
+
+        trace = Trace()
+        query = make_udp_packet("10.0.0.1", "8.8.8.8", 5353, 53, load=b"\x12\x34q")
+        reply = make_udp_packet("8.8.8.8", "10.0.0.1", 53, 5353, load=b"\x12\x34r")
+        trace.record(0.25, "send", "client", query)
+        trace.record(0.75, "inject", "resolver", reply)
+        packets = read_pcap(trace_to_pcap_bytes(trace))
+        assert [t for t, _ in packets] == [0.25, 0.75]
+        for (_, parsed), original in zip(packets, (query, reply)):
+            assert parsed.tcp is None
+            assert parsed.flow == original.flow
+            assert parsed.load == original.load
+            assert parsed.checksums_ok()
+
+
+class TestImpairedTraces:
+    @pytest.fixture
+    def impaired_trace(self):
+        from repro.runtime import TrialSpec
+
+        spec = TrialSpec.build(
+            "china", "http", None, seed=3,
+            impairment={"loss": 0.15, "dup": 0.1}, net_seed=1,
+        )
+        return spec.run(keep_trace=True).trace
+
+    def test_round_trip_covers_wire_events_only(self, impaired_trace):
+        """Impairment bookkeeping events (loss/dup/...) carry packets but
+        are not wire transmissions; the default export skips them."""
+        packets = read_pcap(trace_to_pcap_bytes(impaired_trace))
+        wire = [
+            e for e in impaired_trace.events
+            if e.kind in ("send", "inject") and e.packet
+        ]
+        assert len(packets) == len(wire) > 0
+        assert any(e.kind in ("loss", "dup") for e in impaired_trace.events)
+
+    def test_duplicated_packets_can_be_exported_explicitly(self, impaired_trace):
+        dups = read_pcap(trace_to_pcap_bytes(impaired_trace, kinds=("dup",)))
+        assert len(dups) == len(impaired_trace.filter(kind="dup"))
+        assert all(p.checksums_ok() for _, p in dups)
+
+
 class TestCorruptedChecksumsSurvive:
     def test_insertion_packets_still_corrupt_after_round_trip(self):
         """Checksum-corrupted insertion packets keep their bad checksums

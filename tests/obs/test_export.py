@@ -1,0 +1,126 @@
+"""Exposition: deterministic views, Prometheus text, the artifact tree."""
+
+import json
+
+from repro.obs import (
+    RunLog,
+    deterministic_view,
+    snapshot_to_prometheus,
+    write_metrics_json,
+    write_telemetry,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, collecting
+
+DET = Counter("test_export_det_total", "deterministic counter", ("kind",))
+WALL = Counter("test_export_wall_seconds", "wall seconds", deterministic=False)
+GAUGE = Gauge("test_export_gauge", "a gauge", agg="max")
+HIST = Histogram("test_export_hist", "a histogram", buckets=(1.0, 2.0))
+
+
+def _sample_snapshot():
+    with collecting() as reg:
+        DET.inc(kind="a")
+        DET.inc(2, kind="b")
+        WALL.inc(1.5)
+        GAUGE.set(7)
+        for v in (0.5, 1.5, 9.0):
+            HIST.observe(v)
+    return reg.snapshot()
+
+
+class TestDeterministicView:
+    def test_filters_nondeterministic_families(self):
+        view = deterministic_view(_sample_snapshot())
+        assert "test_export_det_total" in view
+        assert "test_export_wall_seconds" not in view
+
+    def test_view_is_stable_across_runs(self):
+        a = json.dumps(deterministic_view(_sample_snapshot()), sort_keys=True)
+        b = json.dumps(deterministic_view(_sample_snapshot()), sort_keys=True)
+        assert a == b
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = snapshot_to_prometheus(_sample_snapshot())
+        assert '# TYPE test_export_det_total counter' in text
+        assert 'test_export_det_total{kind="a"} 1' in text
+        assert 'test_export_det_total{kind="b"} 2' in text
+        assert '# TYPE test_export_gauge gauge' in text
+        assert "test_export_gauge 7" in text
+
+    def test_histogram_expansion_is_cumulative(self):
+        text = snapshot_to_prometheus(_sample_snapshot())
+        assert 'test_export_hist_bucket{le="1.0"} 1' in text
+        assert 'test_export_hist_bucket{le="2.0"} 2' in text
+        assert 'test_export_hist_bucket{le="+Inf"} 3' in text
+        assert "test_export_hist_count 3" in text
+        assert "test_export_hist_sum 11.0" in text
+
+    def test_help_escaping(self):
+        snap = {
+            "test_export_esc": {
+                "kind": "counter",
+                "help": 'line\nbreak "quoted" back\\slash',
+                "labelnames": ["v"],
+                "deterministic": True,
+                "samples": {'v=x': 1},
+            }
+        }
+        text = snapshot_to_prometheus(snap)
+        assert "# HELP test_export_esc line\\nbreak" in text
+        assert 'test_export_esc{v="x"} 1' in text
+
+    def test_output_is_sorted_and_deterministic(self):
+        a = snapshot_to_prometheus(_sample_snapshot())
+        b = snapshot_to_prometheus(_sample_snapshot())
+        assert a == b
+        families = [
+            line.split()[2] for line in a.splitlines() if line.startswith("# TYPE")
+        ]
+        assert families == sorted(families)
+
+    def test_empty_snapshot(self):
+        assert snapshot_to_prometheus({}) == ""
+
+
+class TestArtifactTree:
+    def test_write_metrics_json_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        snapshot = _sample_snapshot()
+        write_metrics_json(path, snapshot)
+        assert json.loads(path.read_text()) == snapshot
+
+    def test_full_tree(self, tmp_path):
+        from repro.runtime import TrialSpec
+
+        log = RunLog()
+        spec = TrialSpec.build("china", "http", seed=1)
+        log.record_trial(0, spec, spec.run())
+        written = write_telemetry(
+            tmp_path / "tele",
+            _sample_snapshot(),
+            runlog=log,
+            run_meta={"command": "test"},
+        )
+        assert set(written) == {
+            "run.json",
+            "metrics.json",
+            "metrics.deterministic.json",
+            "metrics.prom",
+            "runlog.jsonl",
+        }
+        run = json.loads((tmp_path / "tele" / "run.json").read_text())
+        assert run["command"] == "test"
+        assert run["run_id"] == log.run_id
+        assert run["trials_logged"] == 1
+        assert run["anomalies"] == 0
+        det = json.loads(
+            (tmp_path / "tele" / "metrics.deterministic.json").read_text()
+        )
+        assert "test_export_wall_seconds" not in det
+
+    def test_tree_without_runlog(self, tmp_path):
+        written = write_telemetry(tmp_path / "tele", _sample_snapshot())
+        assert "runlog.jsonl" not in written
+        assert (tmp_path / "tele" / "metrics.prom").exists()

@@ -1,0 +1,80 @@
+"""Span timing: gating, wall/virtual clocks, and the phase hierarchy."""
+
+from repro.obs import metrics, spans
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestGating:
+    def test_disabled_by_default(self):
+        assert not spans.enabled()
+
+    def test_disabled_span_records_nothing(self):
+        with metrics.collecting() as reg:
+            with spans.span("test/phase"):
+                pass
+        assert reg.snapshot() == {}
+
+    def test_profiling_scope_restores_prior_state(self):
+        assert not spans.enabled()
+        with spans.profiling():
+            assert spans.enabled()
+            with spans.profiling():
+                assert spans.enabled()
+            assert spans.enabled()
+        assert not spans.enabled()
+
+    def test_enable_toggle(self):
+        spans.enable(True)
+        try:
+            assert spans.enabled()
+        finally:
+            spans.enable(False)
+        assert not spans.enabled()
+
+
+class TestRecording:
+    def test_span_records_wall_and_calls(self):
+        with metrics.collecting() as reg, spans.profiling():
+            with spans.span("test/phase"):
+                pass
+            with spans.span("test/phase"):
+                pass
+        assert reg.value("repro_span_calls_total", span="test/phase") == 2
+        assert reg.value("repro_span_seconds_total", span="test/phase") >= 0.0
+
+    def test_span_records_virtual_time(self):
+        clock = FakeClock()
+        with metrics.collecting() as reg, spans.profiling():
+            with spans.span("test/sim", clock=clock):
+                clock.now = 12.5
+        assert reg.value("repro_span_vtime_seconds_total", span="test/sim") == 12.5
+
+    def test_span_records_on_exception(self):
+        with metrics.collecting() as reg, spans.profiling():
+            try:
+                with spans.span("test/raises"):
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+        assert reg.value("repro_span_calls_total", span="test/raises") == 1
+
+    def test_add_accumulates_inline_measurements(self):
+        with metrics.collecting() as reg, spans.profiling():
+            spans.add("test/inline", 0.25, vtime=1.0)
+            spans.add("test/inline", 0.25, vtime=2.0, calls=3)
+        assert reg.value("repro_span_seconds_total", span="test/inline") == 0.5
+        assert reg.value("repro_span_vtime_seconds_total", span="test/inline") == 3.0
+        assert reg.value("repro_span_calls_total", span="test/inline") == 4
+
+    def test_nested_spans_are_inclusive(self):
+        with metrics.collecting() as reg, spans.profiling():
+            with spans.span("test/parent"):
+                with spans.span("test/child"):
+                    pass
+        parent = reg.value("repro_span_seconds_total", span="test/parent")
+        child = reg.value("repro_span_seconds_total", span="test/child")
+        assert parent >= child >= 0.0

@@ -1,0 +1,124 @@
+"""Cross-worker telemetry parity.
+
+The acceptance bar for the obs subsystem: a run's merged metric view on
+its deterministic families must be identical whatever the worker count,
+and per-worker accounting must be keyed by stable ordinals rather than
+raw pids.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import deterministic_view
+from repro.runtime import TrialExecutor, TrialSpec, trial_seed
+from repro.runtime.executor import RunStats
+
+
+def _specs(n=6):
+    return [
+        TrialSpec.build("china", "http", seed=trial_seed(7, i)) for i in range(n)
+    ]
+
+
+def _run(workers, specs):
+    with TrialExecutor(workers=workers, collect_metrics=True) as executor:
+        results = executor.run_batch(specs)
+        return results, executor.metrics_snapshot(), executor.total_stats
+
+
+class TestWorkerCountParity:
+    def test_two_workers_match_serial_on_deterministic_families(self):
+        specs = _specs()
+        results1, snap1, _ = _run(1, specs)
+        results2, snap2, _ = _run(2, specs)
+        assert [r.censored for r in results1] == [r.censored for r in results2]
+        det1, det2 = deterministic_view(snap1), deterministic_view(snap2)
+        assert det1  # trial outcome + censor + network counters present
+        assert json.dumps(det1, sort_keys=True) == json.dumps(det2, sort_keys=True)
+
+    def test_trial_outcome_counts_cover_the_batch(self):
+        specs = _specs(4)
+        _, snapshot, _ = _run(1, specs)
+        samples = snapshot["repro_trial_outcomes_total"]["samples"]
+        assert sum(samples.values()) == 4
+        assert all("country=china" in key for key in samples)
+
+    def test_snapshot_empty_without_collect_metrics(self):
+        with TrialExecutor(workers=1) as executor:
+            executor.run_batch(_specs(2))
+            assert executor.metrics_snapshot() == {}
+
+
+class TestWorkerOrdinals:
+    def test_serial_run_attributes_everything_to_w0(self):
+        _, _, stats = _run(1, _specs(3))
+        assert stats.per_worker == {"w0": 3}
+
+    def test_parallel_run_uses_stable_ordinal_keys(self):
+        _, snapshot, stats = _run(2, _specs(8))
+        assert stats.executed == 8
+        assert set(stats.per_worker) <= {"w0", "w1"}
+        assert sum(stats.per_worker.values()) == 8
+        # The metric keeps the pid, but only as an informational label.
+        samples = snapshot["repro_worker_trials_total"]["samples"]
+        for key in samples:
+            assert key.startswith("worker=w")
+            assert "pid=" in key
+
+    def test_ordinals_are_first_seen_and_never_reused(self):
+        executor = TrialExecutor(workers=1)
+        assert executor._worker_ordinal("111") == "w0"
+        assert executor._worker_ordinal("222") == "w1"
+        assert executor._worker_ordinal("111") == "w0"
+        assert executor._worker_ordinal("333") == "w2"
+
+    def test_per_worker_merge_is_associative(self):
+        a = RunStats(executed=2, per_worker={"w0": 2})
+        b = RunStats(executed=3, per_worker={"w0": 1, "w1": 2})
+        c = RunStats(executed=1, per_worker={"w1": 1})
+        left = RunStats.merged([RunStats.merged([a, b]), c])
+        right = RunStats.merged([a, RunStats.merged([b, c])])
+        assert left.per_worker == right.per_worker == {"w0": 3, "w1": 3}
+        assert left.executed == right.executed == 6
+
+
+class TestExecutorRunlog:
+    def test_records_in_submission_order_across_batches(self):
+        from repro.obs import RunLog
+
+        specs = _specs(4)
+        log = RunLog()
+        with TrialExecutor(workers=1, runlog=log) as executor:
+            executor.run_batch(specs[:2])
+            executor.run_batch(specs[2:])
+        records = [json.loads(l) for l in log.lines(wall_clock=lambda: 0.0)]
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+        assert [r["spec"] for r in records] == [s.spec_hash() for s in specs]
+        assert not any(r["cached"] for r in records)
+
+    def test_cache_hits_are_logged_as_cached(self, tmp_path):
+        from repro.obs import RunLog
+
+        specs = _specs(3)
+        log = RunLog()
+        with TrialExecutor(workers=1, cache=str(tmp_path), runlog=log) as ex:
+            ex.run_batch(specs)
+            ex.run_batch(specs)
+        records = [json.loads(l) for l in log.lines(wall_clock=lambda: 0.0)]
+        assert [r["cached"] for r in records] == [False] * 3 + [True] * 3
+        # Cached replays still agree with the executed outcomes.
+        for first, second in zip(records[:3], records[3:]):
+            assert first["censored"] == second["censored"]
+            assert first["spec"] == second["spec"]
+
+    def test_runlog_parity_across_worker_counts(self):
+        from repro.obs import RunLog
+
+        def run(workers):
+            log = RunLog()
+            with TrialExecutor(workers=workers, runlog=log) as executor:
+                executor.run_batch(_specs(6))
+            return list(log.lines(wall_clock=lambda: 0.0))
+
+        assert run(1) == run(2)

@@ -158,6 +158,79 @@ class TestRuntimeFlags:
         assert "china" in capsys.readouterr().out
 
 
+class TestTelemetryFlags:
+    def test_metrics_json_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["rates", "kazakhstan", "http", "--strategy", "11",
+                     "--trials", "4", "--metrics-json", str(path)]) == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        samples = snapshot["repro_trial_outcomes_total"]["samples"]
+        assert sum(samples.values()) == 4
+
+    def test_telemetry_tree_written(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "tele"
+        assert main(["rates", "kazakhstan", "http", "--strategy", "11",
+                     "--trials", "4", "--stats", "--telemetry", str(out_dir),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry artifacts" in out
+        assert "cache:" in out  # --stats now reports cache health too
+        for name in ("run.json", "metrics.json", "metrics.deterministic.json",
+                     "metrics.prom", "runlog.jsonl"):
+            assert (out_dir / name).exists(), name
+        run = json.loads((out_dir / "run.json").read_text())
+        assert run["command"] == "rates"
+        assert run["run_stats"]["requested"] == 4
+        assert len((out_dir / "runlog.jsonl").read_text().splitlines()) == 4
+
+    def test_telemetry_deterministic_across_worker_counts(self, tmp_path, capsys):
+        def run(workers, out_dir):
+            assert main(["rates", "china", "http", "--strategy", "1",
+                         "--trials", "6", "--seed", "4", "--workers", workers,
+                         "--no-cache", "--telemetry", str(out_dir)]) == 0
+            capsys.readouterr()
+            return (out_dir / "metrics.deterministic.json").read_text()
+
+        assert run("1", tmp_path / "serial") == run("2", tmp_path / "parallel")
+
+    def test_off_by_default(self, tmp_path, capsys):
+        assert main(["rates", "kazakhstan", "http", "--strategy", "11",
+                     "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out
+        assert "metrics" not in out
+
+
+class TestProfileCommand:
+    def test_profile_breakdown(self, capsys):
+        assert main(["profile", "--country", "china", "--protocol", "http",
+                     "--trials", "3", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "simulate" in out
+        assert "trial total" in out
+        assert "phase coverage:" in out
+        coverage = float(out.split("phase coverage:")[1].split("%")[0])
+        assert coverage >= 90.0
+
+    def test_profile_metrics_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "profile.json"
+        assert main(["profile", "--trials", "2", "--metrics-json", str(path)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(path.read_text())
+        assert "repro_span_seconds_total" in snapshot
+
+    def test_profile_rejects_bad_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--protocol", "gopher"])
+
+
 class TestImpairmentFlags:
     def test_rates_accepts_impairment_flags(self, capsys):
         assert main([
