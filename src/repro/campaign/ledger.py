@@ -1,0 +1,271 @@
+"""The durable on-disk campaign ledger: journal + content-addressed shards.
+
+A campaign directory is the single source of truth for a run:
+
+    DIR/
+      campaign.json      the canonical spec + its hash, written once at
+                         initialization; later runs must present the
+                         identical spec (hash equality) to touch the dir
+      ledger.jsonl       append-only journal of run events (started /
+                         shard_done / shard_skipped / shard_failed /
+                         campaign_done), each stamped with wall time —
+                         an *audit log*, not the recovery mechanism
+      shards/<hash>.json one file per completed shard, content-addressed
+                         by the shard hash and self-verifying (stored
+                         spec hashes + a result checksum), written
+                         atomically (tmp + rename)
+      results.jsonl      final per-trial ledger in global trial order,
+                         fully deterministic (no wall-clock fields)
+      report.json        per-cell success rates + the merged
+                         deterministic metrics snapshot
+
+Crash safety comes from the shard files, not the journal: a shard is
+"done" exactly when its content-addressed file exists and verifies, so
+resume never trusts a journal line that a kill may have half-written —
+it re-derives completion from content. A corrupt or tampered shard file
+fails verification and is simply re-executed, mirroring the result
+cache's poison handling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..runtime.cache import canonical_sha
+from .spec import CampaignSpec, Shard
+
+__all__ = ["CampaignLedger", "LedgerError"]
+
+
+class LedgerError(RuntimeError):
+    """Raised when a campaign directory cannot be (re)used safely."""
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory rename (atomic)."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class CampaignLedger:
+    """Filesystem layer of one campaign run (see module docstring)."""
+
+    SPEC_FILE = "campaign.json"
+    JOURNAL_FILE = "ledger.jsonl"
+    SHARDS_DIR = "shards"
+    RESULTS_FILE = "results.jsonl"
+    REPORT_FILE = "report.json"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.root = Path(directory)
+        self.poisoned = 0
+
+    # ------------------------------------------------------------------
+    # Initialization / identity
+
+    @property
+    def spec_path(self) -> Path:
+        """Path of the pinned canonical spec."""
+        return self.root / self.SPEC_FILE
+
+    @property
+    def journal_path(self) -> Path:
+        """Path of the append-only journal."""
+        return self.root / self.JOURNAL_FILE
+
+    @property
+    def shards_dir(self) -> Path:
+        """Directory holding content-addressed shard result files."""
+        return self.root / self.SHARDS_DIR
+
+    @property
+    def results_path(self) -> Path:
+        """Path of the final deterministic per-trial ledger."""
+        return self.root / self.RESULTS_FILE
+
+    @property
+    def report_path(self) -> Path:
+        """Path of the final campaign report."""
+        return self.root / self.REPORT_FILE
+
+    def initialize(self, spec: CampaignSpec, resume: bool = False) -> None:
+        """Create or re-open the campaign directory for ``spec``.
+
+        A fresh directory is stamped with the canonical spec. An already
+        initialized directory is only re-opened when ``resume`` is set
+        *and* the stored spec hash matches — running a different
+        campaign into an existing ledger is always an error, because
+        shard addresses would silently stop lining up.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.shards_dir.mkdir(exist_ok=True)
+        digest = spec.campaign_hash()
+        if self.spec_path.exists():
+            try:
+                stored = json.loads(self.spec_path.read_text())
+            except ValueError as exc:
+                raise LedgerError(
+                    f"{self.spec_path} is not valid JSON: {exc}"
+                ) from None
+            stored_hash = stored.get("campaign_hash")
+            if stored_hash != digest:
+                raise LedgerError(
+                    f"{self.root} already holds campaign {stored_hash}, "
+                    f"refusing to run campaign {digest} into it"
+                )
+            if not resume:
+                raise LedgerError(
+                    f"{self.root} is already initialized; pass --resume to "
+                    "continue it"
+                )
+            return
+        if not resume and self.journal_path.exists():
+            raise LedgerError(
+                f"{self.root} contains a journal but no campaign.json; "
+                "refusing to reuse it"
+            )
+        _atomic_write(
+            self.spec_path,
+            json.dumps(
+                {"campaign_hash": digest, "spec": spec.as_dict()},
+                sort_keys=True,
+                indent=2,
+            )
+            + "\n",
+        )
+
+    @classmethod
+    def load_spec(cls, directory: Union[str, Path]) -> CampaignSpec:
+        """Recover the pinned :class:`CampaignSpec` from a campaign dir."""
+        path = Path(directory) / cls.SPEC_FILE
+        try:
+            stored = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise LedgerError(f"cannot load campaign spec from {path}: {exc}")
+        return CampaignSpec.from_dict(stored.get("spec", {}))
+
+    # ------------------------------------------------------------------
+    # Journal (audit log)
+
+    def journal(self, event: str, **fields: Any) -> None:
+        """Append one journal record (stamped with wall time)."""
+        record: Dict[str, Any] = {"event": event}
+        record.update(fields)
+        record["wall"] = time.time()
+        with open(self.journal_path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def journal_records(self) -> List[Dict[str, Any]]:
+        """Parse the journal, skipping a torn (half-written) final line."""
+        if not self.journal_path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        with open(self.journal_path) as handle:
+            for line in handle:
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue  # torn write from a kill mid-append
+        return records
+
+    # ------------------------------------------------------------------
+    # Shard results (the actual checkpoints)
+
+    def shard_path(self, shard: Shard) -> Path:
+        """Content-addressed result path for ``shard``."""
+        return self.shards_dir / f"{shard.shard_hash}.json"
+
+    def store_shard(
+        self,
+        shard: Shard,
+        results: List[Dict[str, Any]],
+        metrics: Dict[str, Any],
+    ) -> Path:
+        """Atomically persist one completed shard's results.
+
+        ``results`` are trace-free result payloads in shard trial order;
+        ``metrics`` is the shard's deterministic metric snapshot. The
+        entry embeds the member spec hashes and a content checksum so a
+        later load can verify it end-to-end.
+        """
+        body = {"results": results, "metrics": metrics}
+        entry = {
+            "campaign": shard.campaign_hash,
+            "shard": shard.index,
+            "hash": shard.shard_hash,
+            "specs": shard.spec_hashes,
+            "cells": [trial.cell_index for trial in shard.trials],
+            "content_sha": canonical_sha(body),
+        }
+        entry.update(body)
+        path = self.shard_path(shard)
+        _atomic_write(path, json.dumps(entry, sort_keys=True))
+        return path
+
+    def load_shard(self, shard: Shard) -> Optional[Dict[str, Any]]:
+        """Load and verify a shard's stored results, or ``None``.
+
+        ``None`` means "not done" — the file is missing, unreadable,
+        addressed under the wrong hash, or fails its content checksum.
+        A verification failure bumps :attr:`poisoned` (and the caller
+        re-executes the shard) rather than serving bad results.
+        """
+        path = self.shard_path(shard)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            if path.exists():
+                self.poisoned += 1
+            return None
+        if (
+            entry.get("hash") != shard.shard_hash
+            or entry.get("specs") != shard.spec_hashes
+            or entry.get("content_sha")
+            != canonical_sha(
+                {"results": entry.get("results"), "metrics": entry.get("metrics")}
+            )
+        ):
+            self.poisoned += 1
+            return None
+        results = entry.get("results")
+        if not isinstance(results, list) or len(results) != len(shard.trials):
+            self.poisoned += 1
+            return None
+        return entry
+
+    def completed_shards(self, shards: Iterable[Shard]) -> Dict[int, Dict[str, Any]]:
+        """Map shard index -> verified stored entry, for every done shard."""
+        done: Dict[int, Dict[str, Any]] = {}
+        for shard in shards:
+            entry = self.load_shard(shard)
+            if entry is not None:
+                done[shard.index] = entry
+        return done
+
+    # ------------------------------------------------------------------
+    # Final artifacts
+
+    def write_results(self, lines: Iterable[Dict[str, Any]]) -> int:
+        """Write ``results.jsonl`` (deterministic; returns record count)."""
+        count = 0
+        tmp = self.results_path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            for record in lines:
+                handle.write(
+                    json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+                )
+                count += 1
+        os.replace(tmp, self.results_path)
+        return count
+
+    def write_report(self, report: Dict[str, Any]) -> Path:
+        """Write ``report.json`` (sorted keys, deterministic bytes)."""
+        _atomic_write(
+            self.report_path, json.dumps(report, sort_keys=True, indent=2) + "\n"
+        )
+        return self.report_path

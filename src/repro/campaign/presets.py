@@ -1,0 +1,132 @@
+"""Canned campaign specs for the repo's standard experiments.
+
+Each preset is a ~10-line factory that expresses an existing evaluation
+driver — the Table 1 censorship matrix, Table 2's success-rate grid, the
+impairment robustness sweep — as a :class:`CampaignSpec`, with the exact
+seed derivations those drivers use. Running the preset therefore
+reproduces the driver's numbers bit-for-bit while gaining sharding,
+checkpointing, and resume.
+
+The :data:`PRESETS` registry maps CLI-facing names to factories; every
+factory accepts ``trials``/``seed``/``shard_size`` keyword overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..eval.reference import CHINA_PROTOCOLS
+from ..eval.sweeps import DEFAULT_LOSS_GRID, ROBUSTNESS_CASES
+from ..eval.table2 import CHINA_STRATEGY_NUMBERS, OTHER_CELLS
+from .spec import CampaignSpec, CellSpec
+
+__all__ = [
+    "PRESETS",
+    "matrix_campaign",
+    "robustness_campaign",
+    "table2_campaign",
+    "table2_china_campaign",
+]
+
+
+def table2_china_campaign(
+    trials: int = 150,
+    seed: int = 0,
+    shard_size: int = 50,
+    protocols: Sequence[str] = CHINA_PROTOCOLS,
+) -> CampaignSpec:
+    """Table 2's China block: strategies 0-8 across the five protocols.
+
+    Cell seeds follow :func:`repro.eval.table2.generate_table2` exactly
+    (``seed + number * 1_000_003``), so each cell's rate equals the
+    direct ``success_rate`` measurement for the same arguments.
+    """
+    cells = [
+        CellSpec.build(
+            "china", protocol, number, trials=trials,
+            seed=seed + number * 1_000_003, label=f"strategy-{number}",
+        )
+        for number in CHINA_STRATEGY_NUMBERS
+        for protocol in protocols
+    ]
+    return CampaignSpec(
+        name="table2-china", cells=cells, shard_size=shard_size,
+        description="Table 2, China column: strategies 0-8 x protocols",
+    )
+
+
+def table2_campaign(trials: int = 150, seed: int = 0, shard_size: int = 50) -> CampaignSpec:
+    """All of Table 2: the China block plus the deterministic-censor rows."""
+    base = table2_china_campaign(trials=trials, seed=seed, shard_size=shard_size)
+    cells = list(base.cells) + [
+        CellSpec.build(
+            country, protocol, number, trials=max(10, trials // 5),
+            seed=seed + number * 31, label=f"strategy-{number}",
+        )
+        for country, number, protocol in OTHER_CELLS
+    ]
+    return CampaignSpec(
+        name="table2", cells=cells, shard_size=shard_size,
+        description="Table 2, all countries",
+    )
+
+
+def matrix_campaign(trials: int = 5, seed: int = 0, shard_size: int = 25) -> CampaignSpec:
+    """Table 1's censorship matrix: no-evasion probes per (country, protocol).
+
+    ``trials`` plays the matrix driver's ``probes`` role; a cell is
+    "censored" when any of its trials was censored or failed.
+    """
+    from ..eval.matrix import ALL_PROTOCOLS, TABLE1_MATRIX
+    from ..eval.runner import censored_workload
+
+    cells: List[CellSpec] = []
+    for country, info in TABLE1_MATRIX.items():
+        for protocol in ALL_PROTOCOLS:
+            source = country if protocol in info["protocols"] else "china"
+            cells.append(
+                CellSpec.build(
+                    country, protocol, None, trials=trials, seed=seed,
+                    options={"workload": censored_workload(source, protocol)},
+                )
+            )
+    return CampaignSpec(
+        name="matrix", cells=cells, shard_size=shard_size,
+        description="Table 1 censorship matrix (no-evasion probes)",
+    )
+
+
+def robustness_campaign(
+    trials: int = 20,
+    seed: int = 0,
+    shard_size: int = 20,
+    net_seed: Optional[int] = None,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_GRID,
+) -> CampaignSpec:
+    """The impairment robustness sweep: flagship strategy per country
+    measured at each per-link loss rate (mirrors
+    :func:`repro.eval.sweeps.impairment_robustness_sweep`)."""
+    cells = [
+        CellSpec.build(
+            country, ROBUSTNESS_CASES[country][0], ROBUSTNESS_CASES[country][1],
+            trials=trials, seed=seed,
+            impairment={"loss": loss} if loss else None,
+            net_seed=net_seed if loss else None,
+            label=f"loss-{loss:g}",
+        )
+        for country in sorted(ROBUSTNESS_CASES)
+        for loss in loss_rates
+    ]
+    return CampaignSpec(
+        name="robustness", cells=cells, shard_size=shard_size,
+        description="Success-vs-loss robustness sweep",
+    )
+
+
+#: CLI-facing preset registry: name -> CampaignSpec factory.
+PRESETS: Dict[str, Callable[..., CampaignSpec]] = {
+    "matrix": matrix_campaign,
+    "robustness": robustness_campaign,
+    "table2": table2_campaign,
+    "table2-china": table2_china_campaign,
+}

@@ -9,7 +9,11 @@ Subcommands:
 - ``evolve``     run the genetic algorithm against a censor;
 - ``matrix``     measure the Table 1 censorship matrix;
 - ``robustness`` sweep strategy success against per-link packet loss;
-- ``profile``    per-phase timing breakdown of a trial batch.
+- ``profile``    per-phase timing breakdown of a trial batch;
+- ``campaign``   sharded, checkpointed, resumable experiment campaigns
+  (``campaign run SPEC --out DIR [--resume] [--shard I/N]``,
+  ``campaign presets``, ``campaign status DIR``; see
+  ``docs/campaigns.md``).
 
 ``rates``, ``matrix`` and ``reproduce`` accept network-impairment flags
 (``--loss/--dup/--reorder/--net-seed``) to run under a degraded path.
@@ -236,7 +240,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runtime_flags(p_robust)
 
+    p_campaign = sub.add_parser(
+        "campaign", help="sharded, checkpointed, resumable experiment campaigns"
+    )
+    camp_sub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+
+    c_run = camp_sub.add_parser(
+        "run", help="run (or resume) a campaign spec or preset"
+    )
+    c_run.add_argument(
+        "spec",
+        help="campaign spec JSON file, or a preset name (see 'campaign presets')",
+    )
+    c_run.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="campaign ledger directory (journal, shard checkpoints, report)",
+    )
+    c_run.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing ledger; completed shards are skipped",
+    )
+    c_run.add_argument(
+        "--shard", type=shard_selector, default=None, metavar="I/N",
+        help="run only this machine's share of the shards (1-based I of N)",
+    )
+    c_run.add_argument(
+        "--trials", type=int, default=None, metavar="N",
+        help="preset scale override / per-cell trial cap for file specs",
+    )
+    c_run.add_argument(
+        "--seed", type=int, default=None, help="preset base-seed override"
+    )
+    c_run.add_argument(
+        "--shard-size", type=positive_workers, default=None, metavar="N",
+        help="trials per shard (the checkpoint granularity)",
+    )
+    c_run.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="process at most N shards this invocation, then checkpoint "
+             "and exit (continue later with --resume)",
+    )
+    c_run.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts per failing shard before aborting (default 2)",
+    )
+    c_run.add_argument(
+        "--workers", type=positive_workers, default=1,
+        help="worker processes for shard execution (1 = serial in-process)",
+    )
+    c_run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="also consult/fill a cross-campaign trial-result cache at DIR",
+    )
+
+    camp_sub.add_parser("presets", help="list the canned campaign presets")
+
+    c_status = camp_sub.add_parser(
+        "status", help="show a campaign ledger's progress"
+    )
+    c_status.add_argument("dir", help="campaign ledger directory")
+
     return parser
+
+
+def shard_selector(text: str):
+    """argparse type for ``--shard I/N``: returns ``(I, N)`` validated."""
+    import re
+
+    match = re.fullmatch(r"(\d+)/(\d+)", text)
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"must look like I/N (e.g. 2/4), got {text!r}"
+        )
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or index < 1 or index > count:
+        raise argparse.ArgumentTypeError(
+            f"need 1 <= I <= N, got {index}/{count}"
+        )
+    return (index, count)
 
 
 def _resolve_cache(args, default=None):
@@ -325,9 +406,93 @@ def _country(name: str) -> Optional[str]:
     return None if name == "none" else name
 
 
+def _load_campaign_spec(args):
+    """Resolve the campaign ``spec`` argument: preset name or JSON file."""
+    from .campaign import PRESETS, CampaignSpec
+
+    if args.spec in PRESETS:
+        overrides = {}
+        if args.trials is not None:
+            overrides["trials"] = args.trials
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.shard_size is not None:
+            overrides["shard_size"] = args.shard_size
+        return PRESETS[args.spec](**overrides)
+    spec = CampaignSpec.from_file(args.spec)
+    if args.trials is not None:
+        for cell in spec.cells:
+            cell.trials = min(cell.trials, args.trials)
+    if args.shard_size is not None:
+        spec.shard_size = args.shard_size
+    return spec
+
+
+def _campaign(args) -> int:
+    """Dispatch the ``campaign`` subcommands (run / presets / status)."""
+    from .campaign import (
+        PRESETS,
+        CampaignError,
+        CampaignLedger,
+        LedgerError,
+        format_campaign,
+        run_campaign,
+    )
+
+    if args.campaign_command == "presets":
+        for name in sorted(PRESETS):
+            spec = PRESETS[name]()
+            print(
+                f"{name:<14} {len(spec.cells):>3} cells, "
+                f"{spec.total_trials:>5} trials  {spec.description}"
+            )
+        return 0
+
+    if args.campaign_command == "status":
+        ledger = CampaignLedger(args.dir)
+        try:
+            spec = CampaignLedger.load_spec(args.dir)
+        except (LedgerError, CampaignError) as exc:
+            raise SystemExit(f"campaign status: {exc}")
+        shards = spec.shards()
+        done = ledger.completed_shards(shards)
+        trials_done = sum(len(shards[i].trials) for i in done)
+        print(f"campaign:  {spec.name} ({spec.campaign_hash()[:16]})")
+        print(f"shards:    {len(done)}/{len(shards)} complete")
+        print(f"trials:    {trials_done}/{spec.total_trials} complete")
+        if ledger.poisoned:
+            print(f"poisoned:  {ledger.poisoned} shard file(s) failed verification")
+        print(
+            "report:    "
+            + ("written" if ledger.report_path.exists() else "pending")
+        )
+        return 0 if len(done) == len(shards) else 1
+
+    try:
+        spec = _load_campaign_spec(args)
+        result = run_campaign(
+            spec,
+            args.out,
+            resume=args.resume,
+            shard=args.shard,
+            workers=args.workers,
+            cache=args.cache_dir,
+            retries=args.retries,
+            max_shards=args.max_shards,
+            echo=print,
+        )
+    except (CampaignError, LedgerError) as exc:
+        raise SystemExit(f"campaign run: {exc}")
+    print(format_campaign(result))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "campaign":
+        return _campaign(args)
 
     if args.command == "strategies":
         for number, record in SERVER_STRATEGIES.items():

@@ -44,14 +44,18 @@ class StrategyEngine:
         self.rng = rng if rng is not None else random.Random(0)
         self.packets_intercepted = 0
 
-    def outbound_filter(self, packet: Packet) -> List[Packet]:
-        """Filter suitable for :attr:`Host.outbound_filters`."""
+    def _timed_apply(self, apply, packet: Packet) -> List[Packet]:
+        """Run one strategy direction, span-timed only when profiling is on."""
         if _spans.ENABLED:
             t0 = time.perf_counter()
-            result = self.strategy.apply_outbound(packet, self.rng)
+            result = apply(packet, self.rng)
             _spans.add("simulate/strategy", time.perf_counter() - t0)
-        else:
-            result = self.strategy.apply_outbound(packet, self.rng)
+            return result
+        return apply(packet, self.rng)
+
+    def outbound_filter(self, packet: Packet) -> List[Packet]:
+        """Filter suitable for :attr:`Host.outbound_filters`."""
+        result = self._timed_apply(self.strategy.apply_outbound, packet)
         if len(result) != 1 or result[0] is not packet:
             self.packets_intercepted += 1
             _STRATEGY_INTERCEPTS.inc(direction="outbound")
@@ -59,12 +63,7 @@ class StrategyEngine:
 
     def inbound_filter(self, packet: Packet) -> List[Packet]:
         """Filter suitable for :attr:`Host.inbound_filters`."""
-        if _spans.ENABLED:
-            t0 = time.perf_counter()
-            result = self.strategy.apply_inbound(packet, self.rng)
-            _spans.add("simulate/strategy", time.perf_counter() - t0)
-            return result
-        return self.strategy.apply_inbound(packet, self.rng)
+        return self._timed_apply(self.strategy.apply_inbound, packet)
 
 
 def install_strategy(

@@ -397,6 +397,7 @@ class Counter(_Metric):
     _kind = "counter"
 
     def inc(self, amount=1, **labels: Any) -> None:
+        """Add ``amount`` to this counter (dropped outside collection)."""
         if not _DEPTH:
             return
         _STACK[-1]._inc(self._family, _label_key(self._family, labels), amount)
@@ -416,6 +417,7 @@ class BoundCounter:
         self._key = key
 
     def inc(self, amount=1) -> None:
+        """Add ``amount`` under the prebound labels (hot-path variant)."""
         if not _DEPTH:
             return
         _STACK[-1]._inc(self._family, self._key, amount)
@@ -439,6 +441,7 @@ class Gauge(_Metric):
         super().__init__(name, help, labelnames, deterministic=deterministic, agg=agg)
 
     def set(self, value, **labels: Any) -> None:
+        """Record ``value`` (merged under the declared aggregation)."""
         if not _DEPTH:
             return
         _STACK[-1]._gauge(self._family, _label_key(self._family, labels), value)
@@ -465,6 +468,7 @@ class Histogram(_Metric):
         )
 
     def observe(self, value, **labels: Any) -> None:
+        """Count ``value`` into its bucket and the running sum/count."""
         if not _DEPTH:
             return
         _STACK[-1]._observe(

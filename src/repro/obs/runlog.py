@@ -184,6 +184,7 @@ class RunLog:
 
     @property
     def spec_hashes(self) -> List[str]:
+        """Spec hashes of every logged trial, in submission order."""
         return list(self._spec_hashes)
 
     def lines(self, wall_clock=time.time) -> Iterator[str]:

@@ -27,7 +27,13 @@ from typing import Any, Dict, Optional, Union
 from ..obs.metrics import Counter
 from .spec import TrialSpec
 
-__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR", "resolve_cache"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "canonical_sha",
+    "resolve_cache",
+]
 
 #: Default on-disk store location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -65,9 +71,19 @@ class CacheStats:
         }
 
 
-def _payload_sha(payload: Dict[str, Any]) -> str:
+def canonical_sha(payload: Any) -> str:
+    """SHA-256 hex digest of a value's canonical (sorted-key) JSON form.
+
+    This is the one content-address function shared by the result cache
+    and the campaign ledger: any JSON-able value has exactly one digest,
+    independent of dict insertion order.
+    """
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# Internal alias kept for the entry-integrity checks below.
+_payload_sha = canonical_sha
 
 
 def result_payload(result) -> Dict[str, Any]:

@@ -1,0 +1,1 @@
+"""Tests for the campaign orchestration layer (repro.campaign)."""

@@ -1,0 +1,147 @@
+"""Ledger durability: initialization guards, shard verification, journals."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignLedger, CampaignSpec, CellSpec, LedgerError
+
+
+def make_spec(seed=7):
+    return CampaignSpec(
+        name="ledger-unit",
+        cells=[CellSpec.build("kazakhstan", "http", 11, trials=4, seed=seed)],
+        shard_size=2,
+    )
+
+
+def fake_results(shard):
+    return [
+        {"outcome": "success", "succeeded": True, "censored": False}
+        for _ in shard.trials
+    ]
+
+
+class TestInitialize:
+    def test_fresh_directory_is_stamped(self, tmp_path):
+        ledger = CampaignLedger(tmp_path / "camp")
+        ledger.initialize(make_spec())
+        stored = json.loads(ledger.spec_path.read_text())
+        assert stored["campaign_hash"] == make_spec().campaign_hash()
+        assert CampaignLedger.load_spec(tmp_path / "camp").name == "ledger-unit"
+
+    def test_reuse_without_resume_refused(self, tmp_path):
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(make_spec())
+        with pytest.raises(LedgerError, match="--resume"):
+            ledger.initialize(make_spec())
+
+    def test_resume_reopens_same_campaign(self, tmp_path):
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(make_spec())
+        ledger.initialize(make_spec(), resume=True)  # no error
+
+    def test_different_campaign_always_refused(self, tmp_path):
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(make_spec(seed=7))
+        for resume in (False, True):
+            with pytest.raises(LedgerError, match="refusing"):
+                ledger.initialize(make_spec(seed=8), resume=resume)
+
+    def test_load_spec_missing_directory(self, tmp_path):
+        with pytest.raises(LedgerError):
+            CampaignLedger.load_spec(tmp_path / "nowhere")
+
+
+class TestJournal:
+    def test_records_round_trip(self, tmp_path):
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(make_spec())
+        ledger.journal("campaign_started", shards=2)
+        ledger.journal("shard_done", shard=0)
+        events = [r["event"] for r in ledger.journal_records()]
+        assert events == ["campaign_started", "shard_done"]
+        assert all("wall" in r for r in ledger.journal_records())
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(make_spec())
+        ledger.journal("shard_done", shard=0)
+        with open(ledger.journal_path, "a") as handle:
+            handle.write('{"event": "shard_done", "shard"')  # killed mid-append
+        records = ledger.journal_records()
+        assert [r["event"] for r in records] == ["shard_done"]
+
+
+class TestShardStorage:
+    def test_store_load_round_trip(self, tmp_path):
+        spec = make_spec()
+        shard = spec.shards()[0]
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(spec)
+        results = fake_results(shard)
+        ledger.store_shard(shard, results, {"m": {"kind": "counter"}})
+        entry = ledger.load_shard(shard)
+        assert entry is not None
+        assert entry["results"] == results
+        assert entry["metrics"] == {"m": {"kind": "counter"}}
+        assert entry["specs"] == shard.spec_hashes
+        assert ledger.poisoned == 0
+
+    def test_missing_shard_is_not_done(self, tmp_path):
+        spec = make_spec()
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(spec)
+        assert ledger.load_shard(spec.shards()[0]) is None
+        assert ledger.poisoned == 0
+
+    def test_corrupt_shard_counts_as_poisoned(self, tmp_path):
+        spec = make_spec()
+        shard = spec.shards()[0]
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(spec)
+        ledger.store_shard(shard, fake_results(shard), {})
+        path = ledger.shard_path(shard)
+        path.write_text(path.read_text().replace("success", "crimped"))
+        assert ledger.load_shard(shard) is None
+        assert ledger.poisoned == 1
+
+    def test_unparseable_shard_counts_as_poisoned(self, tmp_path):
+        spec = make_spec()
+        shard = spec.shards()[0]
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(spec)
+        ledger.shard_path(shard).write_text("{half a json")
+        assert ledger.load_shard(shard) is None
+        assert ledger.poisoned == 1
+
+    def test_wrong_result_count_counts_as_poisoned(self, tmp_path):
+        spec = make_spec()
+        shard = spec.shards()[0]
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(spec)
+        ledger.store_shard(shard, fake_results(shard)[:-1], {})
+        assert ledger.load_shard(shard) is None
+        assert ledger.poisoned == 1
+
+    def test_completed_shards_mapping(self, tmp_path):
+        spec = make_spec()
+        shards = spec.shards()
+        ledger = CampaignLedger(tmp_path)
+        ledger.initialize(spec)
+        ledger.store_shard(shards[1], fake_results(shards[1]), {})
+        done = ledger.completed_shards(shards)
+        assert list(done) == [1]
+
+
+class TestFinalArtifacts:
+    def test_results_and_report_bytes_are_deterministic(self, tmp_path):
+        a, b = CampaignLedger(tmp_path / "a"), CampaignLedger(tmp_path / "b")
+        lines = [{"seq": 0, "outcome": "success"}, {"seq": 1, "outcome": "censored"}]
+        report = {"name": "x", "trials": 2}
+        for ledger in (a, b):
+            ledger.initialize(make_spec())
+            assert ledger.write_results(lines) == 2
+            ledger.write_report(report)
+        assert a.results_path.read_bytes() == b.results_path.read_bytes()
+        assert a.report_path.read_bytes() == b.report_path.read_bytes()

@@ -1,0 +1,106 @@
+"""Preset campaigns reproduce the evaluation drivers bit-for-bit."""
+
+import pytest
+
+from repro.campaign import CampaignLedger, run_campaign
+from repro.campaign.presets import (
+    PRESETS,
+    matrix_campaign,
+    robustness_campaign,
+    table2_campaign,
+    table2_china_campaign,
+)
+from repro.core import deployed_strategy
+from repro.eval import success_rate
+from repro.eval.table2 import CHINA_STRATEGY_NUMBERS
+
+
+class TestRegistry:
+    def test_all_presets_registered(self):
+        assert sorted(PRESETS) == ["matrix", "robustness", "table2", "table2-china"]
+
+    def test_every_preset_expands(self):
+        for name, factory in PRESETS.items():
+            spec = factory()
+            assert spec.total_trials > 0, name
+            assert spec.shards(), name
+
+    def test_preset_hashes_are_stable(self):
+        for factory in PRESETS.values():
+            assert factory().campaign_hash() == factory().campaign_hash()
+
+
+class TestSeedDerivations:
+    def test_table2_china_seeds_follow_generate_table2(self):
+        spec = table2_china_campaign(trials=3, seed=10)
+        by_label = {(c.label, c.protocol): c for c in spec.cells}
+        for number in CHINA_STRATEGY_NUMBERS:
+            cell = by_label[(f"strategy-{number}", "http")]
+            assert cell.seed == 10 + number * 1_000_003
+            assert cell.trials == 3
+
+    def test_table2_other_rows_use_reduced_trials(self):
+        spec = table2_campaign(trials=150)
+        other = [c for c in spec.cells if c.country != "china"]
+        assert other
+        assert all(c.trials == 30 for c in other)
+        assert {c.country for c in other} <= {"india", "iran", "kazakhstan"}
+
+    def test_robustness_grid_has_loss_labels(self):
+        spec = robustness_campaign(trials=2)
+        labels = {c.label for c in spec.cells}
+        assert "loss-0" in labels
+        assert any(label.startswith("loss-0.0") for label in labels)
+
+    def test_matrix_cells_carry_workloads(self):
+        spec = matrix_campaign(trials=1)
+        assert all("workload" in c.options for c in spec.cells)
+
+
+class TestTable2ChinaAcceptance:
+    """The ISSUE acceptance: the preset reproduces Table 2's China column."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("table2") / "camp"
+        spec = table2_china_campaign(trials=2, shard_size=10, protocols=("http",))
+        result = run_campaign(spec, out)
+        assert result.finalized
+        return spec, result
+
+    def test_rates_equal_direct_success_rate(self, report):
+        spec, result = report
+        for cell_spec, cell in zip(spec.cells, result.cells):
+            number = int(cell_spec.label.split("-")[1])
+            strategy = deployed_strategy(number) if number else None
+            expected = success_rate(
+                "china", "http", strategy, trials=2, seed=cell_spec.seed
+            )
+            assert cell.rate == expected, cell_spec.label
+
+    def test_merged_metrics_cover_every_trial(self, report):
+        spec, result = report
+        outcomes = result.metrics["repro_trial_outcomes_total"]
+        assert outcomes["kind"] == "counter"
+        total = sum(outcomes["samples"].values())
+        assert total == spec.total_trials
+
+    def test_merged_metrics_are_sharding_independent(self, report, tmp_path):
+        spec, result = report
+        resharded = table2_china_campaign(trials=2, shard_size=3, protocols=("http",))
+        again = run_campaign(resharded, tmp_path / "camp")
+
+        # Everything except the executor's batch counter must be identical:
+        # batches == shards by construction, so that one family is the only
+        # part of the merged view allowed to see the shard size.
+        def trial_level(snapshot):
+            return {
+                k: v for k, v in snapshot.items()
+                if k != "repro_executor_batches_total"
+            }
+
+        assert trial_level(again.metrics) == trial_level(result.metrics)
+        assert (
+            again.metrics["repro_executor_batches_total"]
+            != result.metrics["repro_executor_batches_total"]
+        )

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Docs-as-tests: extract and execute every fenced example in the docs.
+
+Documentation examples rot silently — a renamed flag or module breaks
+``README.md`` long before anyone notices. This runner makes the docs
+executable: it walks the given markdown files (or directories of
+``*.md``), extracts every fenced ````bash`` / ````sh`` / ````python`` /
+````py`` block, and runs each one, failing loudly on the first non-zero
+exit. CI runs it over ``README.md`` and ``docs/`` on every push.
+
+Mechanics:
+
+- Each *file* gets one scratch working directory, so consecutive blocks
+  in the same document can build on each other's artifacts; the repo's
+  ``src/`` is prepended to ``PYTHONPATH`` so ``python -m repro`` and
+  ``import repro`` work without installation.
+- A block annotated with an HTML comment ``<!-- docs-ci: skip -->`` on
+  the line directly above its opening fence is skipped (used for the
+  two blocks that need network access or run the full test suite).
+- With ``REPRO_DOC_MAX_TRIALS=N`` in the environment, numeric workload
+  knobs inside the blocks (``--trials 200``, ``trials=200``,
+  ``--generations``/``--population``/``population_size=``/...) are
+  clamped to at most ``N`` before execution, so CI runs every example
+  at smoke scale while the published text keeps realistic numbers.
+
+Usage::
+
+    REPRO_DOC_MAX_TRIALS=4 python tools/run_doc_examples.py README.md docs
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+SKIP_MARKER = "docs-ci: skip"
+RUNNABLE_LANGS = {"bash": "bash", "sh": "bash", "python": "python", "py": "python"}
+
+#: Workload knobs clamped under REPRO_DOC_MAX_TRIALS, as (pattern) pairs
+#: whose group(1) is the knob text and group(2) the number.
+_KNOB_PATTERNS = [
+    re.compile(pattern)
+    for pattern in (
+        r"(--trials\s+)(\d+)",
+        r"(--generations\s+)(\d+)",
+        r"(--population\s+)(\d+)",
+        r"(\btrials\s*=\s*)(\d+)",
+        r"(\bgenerations\s*=\s*)(\d+)",
+        r"(\bpopulation_size\s*=\s*)(\d+)",
+        r"(\bmax_tries\s*=\s*)(\d+)",
+    )
+]
+
+
+@dataclass
+class Example:
+    """One runnable fenced block: origin, language, and source text."""
+
+    path: Path
+    line: int
+    lang: str
+    text: str
+
+
+def extract_examples(path: Path) -> List[Example]:
+    """All runnable fenced blocks in one markdown file, in order."""
+    examples: List[Example] = []
+    lines = path.read_text().splitlines()
+    index = 0
+    while index < len(lines):
+        match = re.match(r"^```(\w+)\s*$", lines[index])
+        if not match or match.group(1) not in RUNNABLE_LANGS:
+            index += 1
+            continue
+        skip = index > 0 and SKIP_MARKER in lines[index - 1]
+        start = index + 1
+        end = start
+        while end < len(lines) and not lines[end].startswith("```"):
+            end += 1
+        if not skip:
+            examples.append(
+                Example(
+                    path=path,
+                    line=index + 1,
+                    lang=RUNNABLE_LANGS[match.group(1)],
+                    text="\n".join(lines[start:end]) + "\n",
+                )
+            )
+        index = end + 1
+    return examples
+
+
+def clamp_knobs(text: str, cap: int) -> str:
+    """Clamp every recognized numeric workload knob in ``text`` to ``cap``."""
+
+    def _clamp(match: "re.Match[str]") -> str:
+        return match.group(1) + str(min(int(match.group(2)), cap))
+
+    for pattern in _KNOB_PATTERNS:
+        text = pattern.sub(_clamp, text)
+    return text
+
+
+def run_example(example: Example, cwd: Path, env: dict, cap: Optional[int]) -> int:
+    """Execute one block; prints its output on failure; returns exit code."""
+    text = example.text if cap is None else clamp_knobs(example.text, cap)
+    suffix = ".sh" if example.lang == "bash" else ".py"
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=suffix, dir=cwd, delete=False
+    ) as handle:
+        handle.write(text)
+        script = handle.name
+    if example.lang == "bash":
+        command = ["bash", "-e", script]
+    else:
+        command = [sys.executable, script]
+    proc = subprocess.run(
+        command, cwd=cwd, env=env, capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        print(f"FAIL {example.path}:{example.line} ({example.lang})")
+        print("----- block -----")
+        print(text, end="")
+        print("----- stdout -----")
+        print(proc.stdout, end="")
+        print("----- stderr -----")
+        print(proc.stderr, end="")
+    else:
+        print(f"ok   {example.path}:{example.line} ({example.lang})")
+    os.unlink(script)
+    return proc.returncode
+
+
+def main(argv: List[str]) -> int:
+    """Run every example in the given markdown files/directories."""
+    if not argv:
+        print("usage: run_doc_examples.py FILE_OR_DIR [...]", file=sys.stderr)
+        return 2
+    files: List[Path] = []
+    for arg in argv:
+        path = Path(arg)
+        files.extend(sorted(path.glob("*.md")) if path.is_dir() else [path])
+
+    repo_src = (Path(__file__).resolve().parent.parent / "src").resolve()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cap_text = os.environ.get("REPRO_DOC_MAX_TRIALS")
+    cap = int(cap_text) if cap_text else None
+
+    total = failed = 0
+    for path in files:
+        examples = extract_examples(path)
+        if not examples:
+            continue
+        with tempfile.TemporaryDirectory(prefix="doc-examples-") as scratch:
+            for example in examples:
+                total += 1
+                if run_example(example, Path(scratch), env, cap) != 0:
+                    failed += 1
+    print(f"{total - failed}/{total} doc examples passed" + (
+        f" (knobs clamped to {cap})" if cap else ""
+    ))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
