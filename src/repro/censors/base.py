@@ -27,11 +27,23 @@ FlowKey = Tuple[str, int, str, int]
 
 
 def flow_key(packet: Packet) -> FlowKey:
-    """Undirected flow key (canonical ordering of the two endpoints)."""
-    a = (packet.src, packet.sport)
-    b = (packet.dst, packet.dport)
-    first, second = (a, b) if a <= b else (b, a)
-    return (first[0], first[1], second[0], second[1])
+    """Undirected flow key (canonical ordering of the two endpoints).
+
+    Hot path: called for every packet a censor observes, so the layers
+    are read directly instead of through the Packet convenience
+    properties (each property is a Python-level call).
+    """
+    ip = packet.ip
+    transport = packet.tcp
+    if transport is None:
+        transport = packet.udp
+    src = ip.src
+    dst = ip.dst
+    sport = transport.sport
+    dport = transport.dport
+    if (src, sport) <= (dst, dport):
+        return (src, sport, dst, dport)
+    return (dst, dport, src, sport)
 
 
 def client_oriented_key(client_ip: str, client_port: int, server_ip: str, server_port: int) -> FlowKey:

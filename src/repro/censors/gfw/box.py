@@ -131,9 +131,20 @@ class ProtocolBox:
 
     # ------------------------------------------------------------------
 
-    def observe(self, packet: Packet, direction: str, ctx: PathContext) -> None:
-        """Process one on-path packet (never drops; may inject)."""
-        key = flow_key(packet)
+    def observe(
+        self,
+        packet: Packet,
+        direction: str,
+        ctx: PathContext,
+        key: Optional[FlowKey] = None,
+    ) -> None:
+        """Process one on-path packet (never drops; may inject).
+
+        ``key`` lets a multi-box censor compute the flow key once per
+        packet and share it; standalone callers may omit it.
+        """
+        if key is None:
+            key = flow_key(packet)
         if direction == "c2s" and packet.tcp.is_syn:
             self._create_tcb(key, packet, ctx)
             return

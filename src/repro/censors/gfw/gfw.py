@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ...netsim import PathContext
 from ...packets import Packet
-from ..base import Censor
+from ..base import Censor, flow_key
 from ..dpi import match_dns, match_ftp, match_http, match_https, match_smtp
 from ..keywords import CHINA_KEYWORDS, KeywordSet
 from .box import ProtocolBox
@@ -86,8 +86,11 @@ class GreatFirewall(Censor):
         if packet.is_udp:
             self.dns_udp.observe(packet, direction, ctx)
             return [packet]
+        # Compute the flow key once and hand it to all five boxes — they
+        # would each derive the identical key from the same packet.
+        key = flow_key(packet)
         for box in self.boxes.values():
-            box.observe(packet, direction, ctx)
+            box.observe(packet, direction, ctx, key)
         return [packet]
 
     def box(self, protocol: str) -> ProtocolBox:

@@ -38,7 +38,7 @@ from ..censors import (
     KazakhstanCensor,
 )
 from ..core import Strategy, install_strategy
-from ..netsim import Impairment, Middlebox, Network, Scheduler, Trace
+from ..netsim import Impairment, Middlebox, Network, NullTrace, Scheduler, Trace
 from ..runtime.seeds import net_stream_seed, trial_seed
 from ..tcpstack import Host, SERVER_PERSONALITY, personality
 
@@ -188,6 +188,7 @@ class Trial:
         ip_version: int = 4,
         impairment=None,
         net_seed: Optional[int] = None,
+        capture_trace: bool = True,
     ) -> None:
         if ip_version not in (4, 6):
             raise ValueError("ip_version must be 4 or 6")
@@ -256,6 +257,10 @@ class Trial:
             self.server_engine = proxy
             server_strategy = None
 
+        # Rate-only consumers (success_rate, matrices, GA fitness) pass
+        # capture_trace=False: trace recording — and its per-event packet
+        # copy — collapses to a no-op, and the trial becomes eligible for
+        # packet pooling (nothing retains packets past the trial).
         self.network = Network(
             self.scheduler,
             self.client_host,
@@ -263,6 +268,7 @@ class Trial:
             middleboxes,
             impairment=self.impairment,
             net_rng=net_rng,
+            trace=Trace() if capture_trace else NullTrace(),
         )
         self.client_host.attach(self.network)
         self.server_host.attach(self.network)

@@ -12,7 +12,7 @@ from .impairment import Impairment
 from .middlebox import DIRECTION_C2S, DIRECTION_S2C, Middlebox, PathContext, TransparentTap
 from .network import Network, NetworkNode
 from .pcap import read_pcap, trace_to_pcap_bytes, write_pcap
-from .trace import Trace, TraceEvent
+from .trace import NullTrace, Trace, TraceEvent
 
 __all__ = [
     "DIRECTION_C2S",
@@ -21,6 +21,7 @@ __all__ = [
     "Middlebox",
     "Network",
     "NetworkNode",
+    "NullTrace",
     "PathContext",
     "Scheduler",
     "Timer",

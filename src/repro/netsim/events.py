@@ -49,6 +49,21 @@ class Scheduler:
         self._counter += 1
         return timer
 
+    def schedule_at(self, when: float, callback: Callable, args: tuple = ()) -> None:
+        """Schedule an uncancellable callback at absolute time ``when``.
+
+        The hot-path variant used by the network's packet walk: no
+        :class:`Timer` allocation, and ``args`` are applied at dispatch
+        so call sites avoid building a closure per packet-hop. Entries
+        are 5-tuples alongside ``schedule``'s 4-tuples in the same heap;
+        the unique counter in slot 1 guarantees heap comparisons never
+        reach the mixed-type tail.
+        """
+        if when < self.now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (when, self._counter, None, callback, args))
+        self._counter += 1
+
     def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
         """Drain the event queue, advancing virtual time.
 
@@ -62,17 +77,25 @@ class Scheduler:
             The number of events executed.
         """
         executed = 0
-        while self._queue and executed < max_events:
-            when, _, timer, callback = self._queue[0]
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and executed < max_events:
+            entry = queue[0]
+            when = entry[0]
             if until is not None and when > until:
                 break
-            heapq.heappop(self._queue)
-            if timer.cancelled:
+            pop(queue)
+            timer = entry[2]
+            if timer is not None and timer.cancelled:
                 continue
-            self.now = max(self.now, when)
-            callback()
+            if when > self.now:
+                self.now = when
+            if len(entry) == 5:
+                entry[3](*entry[4])
+            else:
+                entry[3]()
             executed += 1
-        if until is not None and (not self._queue or self._queue[0][0] > until):
+        if until is not None and (not queue or queue[0][0] > until):
             self.now = max(self.now, until)
         return executed
 

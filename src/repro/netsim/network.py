@@ -14,6 +14,7 @@ import random
 import time
 from typing import List, Optional, Protocol, Sequence
 
+from .. import fastpath as _fastpath
 from ..obs import spans as _spans
 from ..obs.metrics import Counter
 from ..packets import Packet
@@ -104,6 +105,37 @@ class Network:
             else "simulate/middlebox"
             for box in self.middleboxes
         ]
+        # Hop coalescing (fast path): inert chain-padding middleboxes are
+        # plain base-class instances that forward every packet unchanged,
+        # so the walk can jump straight to the next *active* box with one
+        # scheduled event instead of one per hop. Decided at construction
+        # time; impaired paths always walk per-link (draw order).
+        self._coalesce = impairment is None and _fastpath.enabled()
+        self._build_skip_tables()
+
+    def _build_skip_tables(self) -> None:
+        """Precompute the next-active-box index in each direction.
+
+        ``_next_c2s[i]`` is the first active index ``>= i`` (or ``n`` for
+        server delivery); ``_next_s2c[i + 1]`` the first active index
+        ``<= i`` (or ``-1`` for client delivery). Inert means exactly the
+        base :class:`Middlebox` — any subclass is assumed interesting.
+        """
+        boxes = self.middleboxes
+        n = len(boxes)
+        active = [type(box) is not Middlebox for box in boxes]
+        self._next_c2s = [n] * (n + 1)
+        nxt = n
+        for i in range(n - 1, -1, -1):
+            if active[i]:
+                nxt = i
+            self._next_c2s[i] = nxt
+        self._next_s2c = [-1] * (n + 1)
+        prev = -1
+        for i in range(n):
+            if active[i]:
+                prev = i
+            self._next_s2c[i + 1] = prev
 
     # ------------------------------------------------------------------
     # Entry points
@@ -146,11 +178,59 @@ class Network:
     def _schedule_hop(self, packet: Packet, direction: str, index: int, ttl: int) -> None:
         imp = self.impairment
         if imp is None or not imp.applies(direction):
+            if self._coalesce:
+                self._schedule_coalesced(packet, direction, index, ttl)
+                return
             self.scheduler.schedule(
                 self.hop_delay, lambda: self._hop(packet, direction, index, ttl)
             )
             return
         self._schedule_impaired_hop(imp, packet, direction, index, ttl)
+
+    def _schedule_coalesced(self, packet: Packet, direction: str, index: int, ttl: int) -> None:
+        """Schedule one event covering the run of inert hops from ``index``.
+
+        Replays the per-hop walk exactly: the arrival time is built by the
+        same iterated ``now + hop_delay`` float additions the per-hop
+        recursion would perform (timestamps are digest material), TTL is
+        decremented once per skipped link, and an expiry *inside* the
+        skipped run becomes a drop event at the hop where the per-hop
+        walk would have recorded it.
+        """
+        n = len(self.middleboxes)
+        if len(self._next_c2s) != n + 1:  # chain mutated post-construction
+            self._build_skip_tables()
+        if direction == DIRECTION_C2S:
+            target = self._next_c2s[index] if index < n else n
+            if index + ttl < target:
+                steps = ttl + 1
+                label = f"hop{index + ttl}"
+                target = -2  # sentinel: drop, never reaches a box
+            else:
+                steps = target - index + 1
+        else:
+            target = self._next_s2c[index + 1] if index >= 0 else -1
+            if index - ttl > target:
+                steps = ttl + 1
+                label = f"hop{index - ttl}"
+                target = -2
+            else:
+                steps = index - target + 1
+        when = self.scheduler.now
+        delay = self.hop_delay
+        for _ in range(steps):
+            when += delay
+        if target == -2:
+            self.scheduler.schedule_at(when, self._drop_expired, (packet, label))
+        else:
+            self.scheduler.schedule_at(
+                when, self._hop, (packet, direction, target, ttl - (steps - 1))
+            )
+
+    def _drop_expired(self, packet: Packet, label: str) -> None:
+        """Record a TTL-expiry drop inside a coalesced run of inert hops."""
+        _PKT_DROP.inc()
+        self.trace.record(self.scheduler.now, "drop", label, packet, "ttl expired")
 
     def _schedule_impaired_hop(
         self, imp: Impairment, packet: Packet, direction: str, index: int, ttl: int

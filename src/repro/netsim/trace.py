@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from ..packets import Packet
 
-__all__ = ["Trace", "TraceEvent"]
+__all__ = ["Trace", "TraceEvent", "NullTrace"]
 
 
 @dataclass
@@ -92,3 +92,25 @@ class Trace:
     def dump(self) -> str:
         """Render the whole trace as text, one event per line."""
         return "\n".join(event.summary() for event in self.events)
+
+
+class NullTrace(Trace):
+    """A trace that records nothing.
+
+    Used by the rate-only fast path (``Trial(capture_trace=False)``):
+    every :meth:`record` call — and in particular its per-event defensive
+    packet copy — becomes a no-op, and because nothing retains packet
+    references the trial can also recycle packets through the arena
+    (:mod:`repro.packets.pool`). ``events`` stays an empty list, so all
+    read-side methods (filter/digest/dump) work and report emptiness.
+    """
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        location: str,
+        packet: Optional[Packet] = None,
+        detail: str = "",
+    ) -> None:
+        """Discard the event."""

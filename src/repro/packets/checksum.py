@@ -3,13 +3,24 @@
 These helpers are used by the IPv4 and TCP layers when serializing packets.
 They are implemented from scratch so the packet model has no dependency on
 scapy or the host network stack.
+
+Incremental updates: :func:`delta_checksum` implements RFC 1624's
+``HC' = ~(~HC + ~m + m')`` (eqn. 3) generalized to a run of 16-bit words,
+which is what lets the serializer patch a cached wire image in place when
+a strategy tampers with a single header field instead of re-summing the
+whole segment. Exactness rests on two facts proven by the property suite
+(``tests/packets/test_checksum_delta.py``): the folded one's-complement
+sum of a datagram that contains at least one non-zero word (every real
+TCP/UDP pseudo-header does) lies in ``[1, 0xFFFF]``, where each residue
+class mod 0xFFFF has exactly one representative, so the incremental and
+full sums cannot disagree by a ±0 representation.
 """
 
 from __future__ import annotations
 
 import struct
 
-__all__ = ["internet_checksum", "tcp_checksum", "pseudo_header"]
+__all__ = ["internet_checksum", "tcp_checksum", "pseudo_header", "delta_checksum"]
 
 
 def internet_checksum(data: bytes) -> int:
@@ -24,6 +35,31 @@ def internet_checksum(data: bytes) -> int:
     for (word,) in struct.iter_unpack("!H", data):
         total += word
     # Fold carries until the sum fits in 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def delta_checksum(checksum: int, old_bytes: bytes, new_bytes: bytes) -> int:
+    """Update ``checksum`` for a region rewrite (RFC 1624, eqn. 3).
+
+    ``checksum`` is the checksum currently stored in the datagram (the
+    complemented fold), ``old_bytes`` the region's previous contents and
+    ``new_bytes`` its replacement. Both regions must be equally long,
+    16-bit aligned, and must not overlap the checksum field itself.
+
+    Returns the checksum the full RFC 1071 recomputation would produce
+    over the rewritten datagram.
+    """
+    if len(old_bytes) != len(new_bytes):
+        raise ValueError("old and new regions must be the same length")
+    if len(old_bytes) % 2:
+        raise ValueError("checksum delta regions must be 16-bit aligned")
+    total = (~checksum) & 0xFFFF
+    for (old_word,), (new_word,) in zip(
+        struct.iter_unpack("!H", old_bytes), struct.iter_unpack("!H", new_bytes)
+    ):
+        total += ((~old_word) & 0xFFFF) + new_word
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
@@ -68,8 +104,27 @@ def tcp_checksum(src_ip: str, dst_ip: str, segment: bytes) -> int:
     return internet_checksum(header + segment)
 
 
+#: Packed-address memo. Trials use a handful of addresses but serialize
+#: thousands of segments, so the string-parsing cost is paid once per
+#: address, not once per packet. Bounded: evicted wholesale if an
+#: adversarial workload somehow floods it with distinct addresses.
+_ADDR_BYTES: dict = {}
+_ADDR_BYTES_MAX = 1024
+
+
 def _ip_to_bytes(address: str) -> bytes:
     """Convert a dotted-quad IPv4 address into its 4-byte representation."""
+    cached = _ADDR_BYTES.get(address)
+    if cached is not None:
+        return cached
+    packed = _parse_ipv4(address)
+    if len(_ADDR_BYTES) >= _ADDR_BYTES_MAX:
+        _ADDR_BYTES.clear()
+    _ADDR_BYTES[address] = packed
+    return packed
+
+
+def _parse_ipv4(address: str) -> bytes:
     parts = address.split(".")
     if len(parts) != 4:
         raise ValueError(f"invalid IPv4 address: {address!r}")

@@ -11,7 +11,7 @@ from __future__ import annotations
 import struct
 from typing import Optional
 
-from .checksum import internet_checksum
+from .checksum import delta_checksum, internet_checksum
 from .fields import FieldSpec
 
 __all__ = ["IPv4"]
@@ -31,7 +31,29 @@ class IPv4:
     :attr:`chksum_override` (which is what ``tamper`` does when targeting
     them — Geneva deliberately does not fix up a tampered checksum or
     length).
+
+    Like :class:`~repro.packets.tcp.TCP`, serialization is cached: an
+    unchanged header returns the previous wire image, and single-scalar
+    changes (tos, ident, flags/frag, ttl, proto) patch the cached bytes
+    with an RFC 1624 incremental header-checksum update.
     """
+
+    __slots__ = (
+        "version",
+        "ihl",
+        "tos",
+        "ident",
+        "flags",
+        "frag",
+        "ttl",
+        "proto",
+        "src",
+        "dst",
+        "len_override",
+        "chksum_override",
+        "_wire",
+        "_wire_key",
+    )
 
     def __init__(
         self,
@@ -56,6 +78,8 @@ class IPv4:
         self.dst = dst
         self.len_override: Optional[int] = None
         self.chksum_override: Optional[int] = None
+        self._wire: Optional[bytes] = None
+        self._wire_key: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Serialization
@@ -68,7 +92,77 @@ class IPv4:
         """Serialize the header followed by ``payload``.
 
         Computes total length and header checksum unless overridden.
+        Unchanged headers return the cached wire image; single-scalar
+        header changes patch it in place with an incremental checksum
+        update.
         """
+        key = (
+            self.tos,
+            self.ident,
+            self.flags,
+            self.frag,
+            self.ttl,
+            self.proto,
+            self.version,
+            self.ihl,
+            self.src,
+            self.dst,
+            self.len_override,
+            self.chksum_override,
+            payload,
+        )
+        wire = self._wire
+        if wire is not None:
+            old_key = self._wire_key
+            if old_key == key:
+                return wire
+            if old_key[6:] == key[6:]:
+                wire = self._patch_wire(wire, old_key, key)
+                self._wire = wire
+                self._wire_key = key
+                return wire
+        wire = self._build_wire(payload)
+        self._wire = wire
+        self._wire_key = key
+        return wire
+
+    def _patch_wire(self, old_wire: bytes, old_key: tuple, key: tuple) -> bytes:
+        """Rewrite changed header scalars in a cached wire image."""
+        buf = bytearray(old_wire)
+        old_parts = []
+        new_parts = []
+        # Each entry patches one 16-bit word of the 20-byte base header.
+        if old_key[0] != key[0]:  # tos shares word 0 with version/ihl
+            new_bytes = bytes((old_wire[0], key[0] & 0xFF))
+            old_parts.append(old_wire[0:2])
+            new_parts.append(new_bytes)
+            buf[0:2] = new_bytes
+        if old_key[1] != key[1]:  # ident
+            new_bytes = struct.pack("!H", key[1] & 0xFFFF)
+            old_parts.append(old_wire[4:6])
+            new_parts.append(new_bytes)
+            buf[4:6] = new_bytes
+        if old_key[2] != key[2] or old_key[3] != key[3]:  # flags/frag word
+            flags_frag = ((key[2] & 0x7) << 13) | (key[3] & 0x1FFF)
+            new_bytes = struct.pack("!H", flags_frag)
+            old_parts.append(old_wire[6:8])
+            new_parts.append(new_bytes)
+            buf[6:8] = new_bytes
+        if old_key[4] != key[4] or old_key[5] != key[5]:  # ttl/proto word
+            new_bytes = bytes((key[4] & 0xFF, key[5] & 0xFF))
+            old_parts.append(old_wire[8:10])
+            new_parts.append(new_bytes)
+            buf[8:10] = new_bytes
+        if self.chksum_override is None and old_parts:
+            old_ck = (old_wire[10] << 8) | old_wire[11]
+            new_ck = delta_checksum(
+                old_ck, b"".join(old_parts), b"".join(new_parts)
+            )
+            buf[10] = new_ck >> 8
+            buf[11] = new_ck & 0xFF
+        return bytes(buf)
+
+    def _build_wire(self, payload: bytes) -> bytes:
         total_len = self.len_override
         if total_len is None:
             total_len = self.header_length() + len(payload)
@@ -140,21 +234,26 @@ class IPv4:
     # Misc
 
     def copy(self) -> "IPv4":
-        """Return an independent copy of this header."""
-        clone = IPv4(
-            src=self.src,
-            dst=self.dst,
-            ttl=self.ttl,
-            proto=self.proto,
-            ident=self.ident,
-            tos=self.tos,
-            flags=self.flags,
-            frag=self.frag,
-        )
+        """Return an independent copy of this header.
+
+        The cached wire image is shared (bytes are immutable); the clone
+        re-validates it against its own fingerprint on next serialize.
+        """
+        clone = IPv4.__new__(IPv4)
         clone.version = self.version
         clone.ihl = self.ihl
+        clone.tos = self.tos
+        clone.ident = self.ident
+        clone.flags = self.flags
+        clone.frag = self.frag
+        clone.ttl = self.ttl
+        clone.proto = self.proto
+        clone.src = self.src
+        clone.dst = self.dst
         clone.len_override = self.len_override
         clone.chksum_override = self.chksum_override
+        clone._wire = self._wire
+        clone._wire_key = self._wire_key
         return clone
 
     def __repr__(self) -> str:
@@ -203,8 +302,20 @@ class IPv4:
     }
 
 
+#: Packed-address memo (see checksum._ADDR_BYTES for rationale/bounds).
+_IP_BYTES: dict = {}
+_IP_BYTES_MAX = 1024
+
+
 def _ip_bytes(address: str) -> bytes:
-    return bytes(int(part) for part in address.split("."))
+    cached = _IP_BYTES.get(address)
+    if cached is not None:
+        return cached
+    packed = bytes(int(part) for part in address.split("."))
+    if len(_IP_BYTES) >= _IP_BYTES_MAX:
+        _IP_BYTES.clear()
+    _IP_BYTES[address] = packed
+    return packed
 
 
 def _bytes_ip(raw: bytes) -> str:

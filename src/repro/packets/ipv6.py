@@ -36,8 +36,24 @@ def canonical_ip(address: str) -> str:
 IP_PROTO_TCP = 6
 
 
+#: Packed-address memo (see checksum._ADDR_BYTES for rationale/bounds).
+_V6_BYTES: dict = {}
+_V6_BYTES_MAX = 1024
+
+
 def v6_to_bytes(address: str) -> bytes:
     """Convert an IPv6 address string (with ``::`` support) to 16 bytes."""
+    cached = _V6_BYTES.get(address)
+    if cached is not None:
+        return cached
+    packed = _parse_v6(address)
+    if len(_V6_BYTES) >= _V6_BYTES_MAX:
+        _V6_BYTES.clear()
+    _V6_BYTES[address] = packed
+    return packed
+
+
+def _parse_v6(address: str) -> bytes:
     if address.count("::") > 1 or ":::" in address:
         raise ValueError(f"invalid IPv6 address {address!r}")
     if "::" in address:
@@ -105,6 +121,18 @@ class IPv6:
 
     version = 6
 
+    __slots__ = (
+        "src",
+        "dst",
+        "hop_limit",
+        "proto",
+        "traffic_class",
+        "flow_label",
+        "len_override",
+        "_wire",
+        "_wire_key",
+    )
+
     def __init__(
         self,
         src: str = "::",
@@ -121,6 +149,8 @@ class IPv6:
         self.traffic_class = traffic_class
         self.flow_label = flow_label
         self.len_override: Optional[int] = None
+        self._wire: Optional[bytes] = None
+        self._wire_key: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # The family-agnostic TTL interface used by the network simulator.
@@ -146,7 +176,49 @@ class IPv6:
         return 40
 
     def serialize(self, payload: bytes) -> bytes:
-        """Serialize the fixed header followed by ``payload``."""
+        """Serialize the fixed header followed by ``payload``.
+
+        Cached like :meth:`IPv4.serialize`; IPv6 has no header checksum,
+        so single-scalar changes are plain byte patches.
+        """
+        key = (
+            self.traffic_class,
+            self.flow_label,
+            self.hop_limit,
+            self.proto,
+            self.src,
+            self.dst,
+            self.len_override,
+            payload,
+        )
+        wire = self._wire
+        if wire is not None:
+            old_key = self._wire_key
+            if old_key == key:
+                return wire
+            if old_key[4:] == key[4:]:
+                buf = bytearray(wire)
+                if old_key[0] != key[0] or old_key[1] != key[1]:
+                    first_word = (
+                        (6 << 28)
+                        | ((key[0] & 0xFF) << 20)
+                        | (key[1] & 0xFFFFF)
+                    )
+                    buf[0:4] = struct.pack("!I", first_word)
+                if old_key[3] != key[3]:
+                    buf[6] = key[3] & 0xFF
+                if old_key[2] != key[2]:
+                    buf[7] = key[2] & 0xFF
+                wire = bytes(buf)
+                self._wire = wire
+                self._wire_key = key
+                return wire
+        wire = self._build_wire(payload)
+        self._wire = wire
+        self._wire_key = key
+        return wire
+
+    def _build_wire(self, payload: bytes) -> bytes:
         length = self.len_override
         if length is None:
             length = len(payload)
@@ -194,15 +266,16 @@ class IPv6:
 
     def copy(self) -> "IPv6":
         """Return an independent copy of this header."""
-        clone = IPv6(
-            src=self.src,
-            dst=self.dst,
-            hop_limit=self.hop_limit,
-            proto=self.proto,
-            traffic_class=self.traffic_class,
-            flow_label=self.flow_label,
-        )
+        clone = IPv6.__new__(IPv6)
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.hop_limit = self.hop_limit
+        clone.proto = self.proto
+        clone.traffic_class = self.traffic_class
+        clone.flow_label = self.flow_label
         clone.len_override = self.len_override
+        clone._wire = self._wire
+        clone._wire_key = self._wire_key
         return clone
 
     def __repr__(self) -> str:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from . import pool
 from .fields import FieldSpec, corrupt_value, parse_replace_value
 from .ip import IPv4
 from .tcp import TCP
@@ -27,6 +28,8 @@ class Packet:
         tcp: The TCP segment, or ``None`` for UDP packets.
         udp: The UDP datagram, or ``None`` for TCP packets.
     """
+
+    __slots__ = ("ip", "tcp", "udp")
 
     def __init__(self, ip: IPv4, tcp: Optional[TCP] = None, udp: Optional[UDP] = None) -> None:
         if (tcp is None) == (udp is None):
@@ -191,10 +194,22 @@ class Packet:
     # Misc
 
     def copy(self) -> "Packet":
-        """Return a deep, independent copy of this packet."""
+        """Return a deep, independent copy of this packet.
+
+        TCP/IPv4 copies are drawn from the packet arena when one is
+        active for the current trial (see :mod:`repro.packets.pool`).
+        """
         if self.udp is not None:
             return Packet(self.ip.copy(), udp=self.udp.copy())
-        return Packet(self.ip.copy(), self.tcp.copy())
+        if type(self.ip) is IPv4:
+            arena = pool._ACTIVE
+            if arena is not None:
+                return arena.acquire_copy(self)
+        clone = Packet.__new__(Packet)
+        clone.ip = self.ip.copy()
+        clone.tcp = self.tcp.copy()
+        clone.udp = None
+        return clone
 
     def __repr__(self) -> str:
         load = f" len={len(self.load)}" if self.load else ""
@@ -229,6 +244,21 @@ def make_tcp_packet(
 
         ip = IPv6(src=src, dst=dst, hop_limit=ttl)
     else:
+        arena = pool._ACTIVE
+        if arena is not None:
+            return arena.acquire_tcp(
+                src,
+                dst,
+                sport,
+                dport,
+                flags=flags,
+                seq=seq,
+                ack=ack,
+                load=load,
+                window=window,
+                ttl=ttl,
+                options=options,
+            )
         ip = IPv4(src=src, dst=dst, ttl=ttl)
     tcp = TCP(
         sport=sport,

@@ -11,10 +11,16 @@ from __future__ import annotations
 import struct
 from typing import List, Optional, Tuple
 
-from .checksum import tcp_checksum
+from .checksum import delta_checksum, tcp_checksum
 from .fields import TCP_FLAG_LETTERS, FieldSpec
 
 __all__ = ["TCP", "flags_to_bits", "bits_to_flags"]
+
+#: Canonicalized-flag-string memo (e.g. ``"AS"`` -> ``"SA"``). The set of
+#: canonical outputs is tiny (subsets of 8 letters) but inputs are
+#: arbitrary user text, so the memo is bounded.
+_CANON_FLAGS: dict = {}
+_CANON_FLAGS_MAX = 4096
 
 # Flag bit positions, matching TCP_FLAG_LETTERS ("FSRPAUEC") order.
 _FLAG_BITS = {
@@ -68,7 +74,30 @@ class TCP:
     :attr:`chksum_override` is set; ``tamper{TCP:chksum:corrupt}`` sets the
     override so the corrupted value reaches the wire — the key mechanism
     behind "insertion packets" that censors accept but end-hosts discard.
+
+    Serialization is cached: :meth:`serialize` keeps the last wire image
+    together with a fingerprint of every field that shaped it. Re-serializing
+    an unchanged segment returns the cached bytes; a segment whose only
+    changes are fixed-offset header scalars (ports, seq/ack, flags, window,
+    urgptr) is patched in place with an RFC 1624 incremental checksum
+    update instead of being rebuilt and re-summed end to end.
     """
+
+    __slots__ = (
+        "sport",
+        "dport",
+        "seq",
+        "ack",
+        "flags",
+        "window",
+        "urgptr",
+        "options",
+        "load",
+        "chksum_override",
+        "dataofs_override",
+        "_wire",
+        "_wire_key",
+    )
 
     def __init__(
         self,
@@ -93,42 +122,56 @@ class TCP:
         self.load = load
         self.chksum_override: Optional[int] = None
         self.dataofs_override: Optional[int] = None
+        self._wire: Optional[bytes] = None
+        self._wire_key: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Flag helpers
 
     @staticmethod
     def _canonical_flags(flags: str) -> str:
-        return bits_to_flags(flags_to_bits(flags.upper()))
+        canon = _CANON_FLAGS.get(flags)
+        if canon is None:
+            canon = bits_to_flags(flags_to_bits(flags.upper()))
+            if len(_CANON_FLAGS) >= _CANON_FLAGS_MAX:
+                _CANON_FLAGS.clear()
+            _CANON_FLAGS[flags] = canon
+        return canon
 
     def has_flag(self, letter: str) -> bool:
         """Whether the given flag letter is set."""
         return letter in self.flags
 
+    # Flag predicates test string membership directly (not via has_flag):
+    # they run several times per packet per GFW box, and the extra method
+    # call is measurable on the cold path.
+
     @property
     def is_syn(self) -> bool:
         """SYN set and ACK clear (a connection-opening SYN)."""
-        return self.has_flag("S") and not self.has_flag("A")
+        flags = self.flags
+        return "S" in flags and "A" not in flags
 
     @property
     def is_synack(self) -> bool:
         """Both SYN and ACK set."""
-        return self.has_flag("S") and self.has_flag("A")
+        flags = self.flags
+        return "S" in flags and "A" in flags
 
     @property
     def is_rst(self) -> bool:
         """RST flag set."""
-        return self.has_flag("R")
+        return "R" in self.flags
 
     @property
     def is_fin(self) -> bool:
         """FIN flag set."""
-        return self.has_flag("F")
+        return "F" in self.flags
 
     @property
     def is_ack(self) -> bool:
         """ACK flag set."""
-        return self.has_flag("A")
+        return "A" in self.flags
 
     # ------------------------------------------------------------------
     # Options helpers
@@ -214,7 +257,89 @@ class TCP:
         return 20 + len(self._serialize_options())
 
     def serialize(self, src_ip: str, dst_ip: str) -> bytes:
-        """Serialize header + payload, computing the checksum if needed."""
+        """Serialize header + payload, computing the checksum if needed.
+
+        Returns a cached wire image when the segment is unchanged since
+        the last call; applies an in-place patch with an incremental
+        checksum update when only fixed-offset header scalars changed.
+        """
+        key = (
+            self.sport,
+            self.dport,
+            self.seq,
+            self.ack,
+            self.flags,
+            self.window,
+            self.urgptr,
+            self.chksum_override,
+            self.dataofs_override,
+            self.load,
+            tuple(self.options),
+            src_ip,
+            dst_ip,
+        )
+        wire = self._wire
+        if wire is not None:
+            old_key = self._wire_key
+            if old_key == key:
+                return wire
+            if old_key[7:] == key[7:]:
+                wire = self._patch_wire(wire, old_key, key)
+                self._wire = wire
+                self._wire_key = key
+                return wire
+        wire = self._build_wire(src_ip, dst_ip)
+        self._wire = wire
+        self._wire_key = key
+        return wire
+
+    #: (fingerprint index, wire offset, struct format) for every header
+    #: scalar that can be patched in place. Flags are handled separately
+    #: (they share a 16-bit word with the data offset).
+    _PATCHABLE = (
+        (0, 0, "!H"),   # sport
+        (1, 2, "!H"),   # dport
+        (2, 4, "!I"),   # seq
+        (3, 8, "!I"),   # ack
+        (5, 14, "!H"),  # window
+        (6, 18, "!H"),  # urgptr
+    )
+
+    def _patch_wire(self, old_wire: bytes, old_key: tuple, key: tuple) -> bytes:
+        """Rewrite changed header scalars in a cached wire image.
+
+        The checksum is updated incrementally (RFC 1624) unless an
+        override pins it, in which case the stored bytes are already
+        field-independent and stay untouched.
+        """
+        buf = bytearray(old_wire)
+        old_parts = []
+        new_parts = []
+        for index, offset, fmt in self._PATCHABLE:
+            if old_key[index] != key[index]:
+                size = 4 if fmt == "!I" else 2
+                mask = 0xFFFFFFFF if size == 4 else 0xFFFF
+                new_bytes = struct.pack(fmt, key[index] & mask)
+                old_parts.append(old_wire[offset : offset + size])
+                new_parts.append(new_bytes)
+                buf[offset : offset + size] = new_bytes
+        if old_key[4] != key[4]:
+            # Flags live in byte 13; patch the whole 16-bit word so the
+            # checksum delta stays word-aligned (byte 12 is unchanged).
+            new_bytes = bytes((old_wire[12], flags_to_bits(key[4])))
+            old_parts.append(old_wire[12:14])
+            new_parts.append(new_bytes)
+            buf[12:14] = new_bytes
+        if self.chksum_override is None and old_parts:
+            old_ck = (old_wire[16] << 8) | old_wire[17]
+            new_ck = delta_checksum(
+                old_ck, b"".join(old_parts), b"".join(new_parts)
+            )
+            buf[16] = new_ck >> 8
+            buf[17] = new_ck & 0xFF
+        return bytes(buf)
+
+    def _build_wire(self, src_ip: str, dst_ip: str) -> bytes:
         options = self._serialize_options()
         dataofs = self.dataofs_override
         if dataofs is None:
@@ -292,20 +417,26 @@ class TCP:
     # Misc
 
     def copy(self) -> "TCP":
-        """Return an independent copy of this segment."""
-        clone = TCP(
-            sport=self.sport,
-            dport=self.dport,
-            seq=self.seq,
-            ack=self.ack,
-            flags=self.flags,
-            window=self.window,
-            urgptr=self.urgptr,
-            options=[(name, value) for name, value in self.options],
-            load=self.load,
-        )
+        """Return an independent copy of this segment.
+
+        Bypasses ``__init__`` (the fields are already canonical) and
+        shares the immutable cached wire image, so a copied-then-tampered
+        segment re-serializes via the incremental patch path.
+        """
+        clone = TCP.__new__(TCP)
+        clone.sport = self.sport
+        clone.dport = self.dport
+        clone.seq = self.seq
+        clone.ack = self.ack
+        clone.flags = self.flags
+        clone.window = self.window
+        clone.urgptr = self.urgptr
+        clone.options = list(self.options)
+        clone.load = self.load
         clone.chksum_override = self.chksum_override
         clone.dataofs_override = self.dataofs_override
+        clone._wire = self._wire
+        clone._wire_key = self._wire_key
         return clone
 
     def __repr__(self) -> str:

@@ -27,6 +27,8 @@ class UDP:
     tamper action.
     """
 
+    __slots__ = ("sport", "dport", "load", "chksum_override", "len_override")
+
     def __init__(self, sport: int = 0, dport: int = 0, load: bytes = b"") -> None:
         self.sport = sport
         self.dport = dport
@@ -81,7 +83,10 @@ class UDP:
 
     def copy(self) -> "UDP":
         """Return an independent copy of this datagram."""
-        clone = UDP(sport=self.sport, dport=self.dport, load=self.load)
+        clone = UDP.__new__(UDP)
+        clone.sport = self.sport
+        clone.dport = self.dport
+        clone.load = self.load
         clone.chksum_override = self.chksum_override
         clone.len_override = self.len_override
         return clone

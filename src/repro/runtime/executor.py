@@ -30,6 +30,7 @@ structured record per trial in submission order.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import time
@@ -78,6 +79,18 @@ _WORKER_TRIALS = Counter(
     ("worker", "pid"),
     deterministic=False,  # pids differ run to run
 )
+#: How cold trials were dispatched: as part of a multi-trial shard
+#: (identical spec minus seed, amortized decode/dispatch) or alone.
+#: Worker-count independent (grouping happens before pool chunking; the
+#: telemetry parity test pins this) but NOT batch-split independent — a
+#: campaign sharded into smaller batches can turn one batched group into
+#: several singles — so it is excluded from determinism diffs.
+_EXEC_DISPATCH = Counter(
+    "repro_executor_dispatch_total",
+    "Trials dispatched to execution, by shard mode",
+    ("mode",),  # batched | single
+    deterministic=False,
+)
 
 
 @dataclass
@@ -98,6 +111,10 @@ class RunStats:
             restarts, silently merging two different workers' counts, so
             the pid is demoted to an informational label on the
             ``repro_worker_trials_total`` metric.
+        batched: Cold trials dispatched as part of a multi-trial shard
+            (identical spec minus seed). Grouping happens before pool
+            chunking, so the split is worker-count independent.
+        single: Cold trials whose spec shape was unique in the batch.
     """
 
     requested: int = 0
@@ -107,6 +124,18 @@ class RunStats:
     busy_time: float = 0.0
     workers: int = 1
     per_worker: Dict[str, int] = field(default_factory=dict)
+    batched: int = 0
+    single: int = 0
+
+    @property
+    def cold(self) -> int:
+        """Trials actually executed (alias of :attr:`executed`)."""
+        return self.executed
+
+    @property
+    def warm(self) -> int:
+        """Trials served from the cache (alias of :attr:`cache_hits`)."""
+        return self.cache_hits
 
     @property
     def utilization(self) -> float:
@@ -129,6 +158,8 @@ class RunStats:
         self.wall_time += other.wall_time
         self.busy_time += other.busy_time
         self.workers = max(self.workers, other.workers)
+        self.batched += other.batched
+        self.single += other.single
         for worker, count in other.per_worker.items():
             self.per_worker[worker] = self.per_worker.get(worker, 0) + count
 
@@ -146,6 +177,10 @@ class RunStats:
             "requested": self.requested,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "cold": self.cold,
+            "warm": self.warm,
+            "batched": self.batched,
+            "single": self.single,
             "wall_time": self.wall_time,
             "busy_time": self.busy_time,
             "workers": self.workers,
@@ -154,49 +189,64 @@ class RunStats:
         }
 
     def format(self) -> str:
-        """One-line human-readable rendering."""
+        """One-line human-readable rendering (cold = executed, warm =
+        cache hits; batched/single split the cold dispatches)."""
         return (
             f"trials={self.requested} executed={self.executed} "
-            f"cache_hits={self.cache_hits} workers={self.workers} "
+            f"cache_hits={self.cache_hits} cold={self.cold} warm={self.warm} "
+            f"batched={self.batched} single={self.single} "
+            f"workers={self.workers} "
             f"wall={self.wall_time:.2f}s utilization={self.utilization:.0%}"
         )
 
 
-def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: run one spec payload, return a result payload.
+def _execute_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one shard (same spec shape, many seeds).
 
     Module-level (not a closure) so it pickles under both ``fork`` and
     ``spawn`` start methods. When the executor asked for metric
-    collection (``_collect``), the trial runs inside an isolated
-    registry and its snapshot travels back with the result — the parent
+    collection (``_collect``), the shard runs inside an isolated
+    registry and its snapshot travels back with the results — the parent
     merges snapshots associatively, so totals are identical however
     trials were sharded across workers.
+
+    A shard is a run of specs identical except for their seeds — exactly
+    what ``success_rate`` and the sweep drivers produce. Executing them
+    together amortizes per-dispatch costs: one IPC payload and one metric
+    snapshot per shard rather than per trial, and the strategy parse /
+    packet arena warm-up from the first trial is reused by the rest of
+    the shard within the worker process.
     """
-    spec = TrialSpec(
-        country=payload["country"],
-        protocol=payload["protocol"],
-        server_strategy=payload["server_strategy"],
-        seed=payload["seed"],
-        client_strategy=payload["client_strategy"],
-        options=payload["options"],
-        impairment=payload.get("impairment"),
-    )
+    base = payload["base"]
     collect = payload.get("_collect", False)
-    start = time.perf_counter()
+    outs: List[Dict[str, Any]] = []
+
+    def run_all() -> None:
+        for seed in payload["seeds"]:
+            spec = TrialSpec(
+                country=base["country"],
+                protocol=base["protocol"],
+                server_strategy=base["server_strategy"],
+                seed=seed,
+                client_strategy=base["client_strategy"],
+                options=base["options"],
+                impairment=base.get("impairment"),
+            )
+            start = time.perf_counter()
+            result = spec.run()
+            duration = time.perf_counter() - start
+            out = result_payload(result)
+            out["_duration"] = duration
+            outs.append(out)
+
     if collect:
         with obs_metrics.collecting() as registry:
-            result = spec.run()
+            run_all()
         snapshot = registry.snapshot()
     else:
-        result = spec.run()
+        run_all()
         snapshot = None
-    duration = time.perf_counter() - start
-    out = result_payload(result)
-    out["_duration"] = duration
-    out["_pid"] = os.getpid()
-    if snapshot is not None:
-        out["_metrics"] = snapshot
-    return out
+    return {"results": outs, "_pid": os.getpid(), "_metrics": snapshot}
 
 
 def _preferred_start_method() -> Optional[str]:
@@ -324,30 +374,62 @@ class TrialExecutor:
                     pending.append(position)
 
             if pending:
-                payloads = [specs[position].as_dict() for position in pending]
-                if collect:
-                    for payload in payloads:
-                        payload["_collect"] = True
+                # Shard the cold trials: specs identical except for
+                # their seed run as one dispatch unit. The batched /
+                # single split is decided here — before any pool
+                # chunking — so it is worker-count independent.
+                shards = self._shard_pending(specs, pending)
+                for positions in shards:
+                    count = len(positions)
+                    if count > 1:
+                        stats.batched += count
+                        _EXEC_DISPATCH.inc(count, mode="batched")
+                    else:
+                        stats.single += count
+                        _EXEC_DISPATCH.inc(count, mode="single")
                 if self.workers == 1 or len(pending) == 1:
-                    outs = [_execute_payload(payload) for payload in payloads]
+                    chunks = shards
                     stats.workers = 1
                 else:
-                    outs = self._run_pool(payloads)
-                for position, out in zip(pending, outs):
-                    stats.executed += 1
-                    duration = out.pop("_duration", 0.0)
-                    stats.busy_time += duration
-                    pid = str(out.pop("_pid", os.getpid()))
+                    # Re-chunk large shards for pool load balance; this
+                    # only changes which worker runs what, never results
+                    # or the dispatch accounting above.
+                    chunk_size = max(1, len(pending) // (self.workers * 4))
+                    chunks = []
+                    for positions in shards:
+                        for i in range(0, len(positions), chunk_size):
+                            chunks.append(positions[i : i + chunk_size])
+                payloads = []
+                for positions in chunks:
+                    base = specs[positions[0]].as_dict()
+                    del base["seed"]
+                    payload = {
+                        "base": base,
+                        "seeds": [specs[p].seed for p in positions],
+                    }
+                    if collect:
+                        payload["_collect"] = True
+                    payloads.append(payload)
+                if self.workers == 1 or len(pending) == 1:
+                    shard_outs = [_execute_shard(payload) for payload in payloads]
+                else:
+                    shard_outs = self._run_pool(payloads)
+                for positions, shard_out in zip(chunks, shard_outs):
+                    pid = str(shard_out.get("_pid", os.getpid()))
                     worker = self._worker_ordinal(pid)
-                    stats.per_worker[worker] = stats.per_worker.get(worker, 0) + 1
-                    _WORKER_TRIALS.inc(worker=worker, pid=pid)
-                    snapshot = out.pop("_metrics", None)
+                    count = len(positions)
+                    stats.per_worker[worker] = stats.per_worker.get(worker, 0) + count
+                    _WORKER_TRIALS.inc(count, worker=worker, pid=pid)
+                    snapshot = shard_out.get("_metrics")
                     if snapshot is not None:
                         obs_metrics.active_registry().merge_snapshot(snapshot)
-                    result = payload_result(out)
-                    results[position] = result
-                    if self.cache is not None:
-                        self.cache.store(specs[position], result)
+                    for position, out in zip(positions, shard_out["results"]):
+                        stats.executed += 1
+                        stats.busy_time += out.pop("_duration", 0.0)
+                        result = payload_result(out)
+                        results[position] = result
+                        if self.cache is not None:
+                            self.cache.store(specs[position], result)
 
         stats.wall_time = time.perf_counter() - start
         self.last_stats = stats
@@ -369,6 +451,32 @@ class TrialExecutor:
                 )
                 self._trial_index += 1
         return results
+
+    @staticmethod
+    def _shard_pending(
+        specs: Sequence[TrialSpec], pending: Sequence[int]
+    ) -> List[List[int]]:
+        """Group pending positions into shards (same spec minus seed).
+
+        Groups preserve first-seen order, and positions within a group
+        stay in submission order, so the seed sequence each shard runs
+        is reproducible.
+        """
+        groups: Dict[tuple, List[int]] = {}
+        for position in pending:
+            spec = specs[position]
+            shape = (
+                spec.country,
+                spec.protocol,
+                spec.server_strategy,
+                spec.client_strategy,
+                json.dumps(spec.options, sort_keys=True, separators=(",", ":")),
+                json.dumps(spec.impairment, sort_keys=True, separators=(",", ":"))
+                if spec.impairment is not None
+                else None,
+            )
+            groups.setdefault(shape, []).append(position)
+        return list(groups.values())
 
     def _worker_ordinal(self, pid: str) -> str:
         ordinal = self._worker_ordinals.get(pid)
@@ -407,6 +515,6 @@ class TrialExecutor:
     def _run_pool(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         pool = self._get_pool()
         if pool is None:
-            return [_execute_payload(payload) for payload in payloads]
-        chunksize = max(1, len(payloads) // (self.workers * 4))
-        return pool.map(_execute_payload, payloads, chunksize=chunksize)
+            return [_execute_shard(payload) for payload in payloads]
+        # Payloads are already chunked for balance by the caller.
+        return pool.map(_execute_shard, payloads, chunksize=1)

@@ -41,6 +41,46 @@ class SpecError(ValueError):
     (e.g. a live censor instance or middlebox objects were passed)."""
 
 
+#: Parsed-strategy memo keyed by DSL text. A batch of trials re-parses
+#: the same handful of strategy strings thousands of times; parsed
+#: strategies are never mutated after construction (the GA copies before
+#: mutating), so sharing one instance is safe. Consulted only when the
+#: fast path is enabled so ``REPRO_FASTPATH=0`` rules it out too.
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_MAX = 512
+
+
+def _parse_strategy(text: str):
+    from .. import fastpath
+    from ..core import Strategy
+
+    if not fastpath.enabled():
+        return Strategy.parse(text)
+    strategy = _PARSE_CACHE.get(text)
+    if strategy is None:
+        strategy = Strategy.parse(text)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = strategy
+    return strategy
+
+
+def _copy_tree(value: Any) -> Any:
+    """Deep-copy a JSON tree (much cheaper than ``copy.deepcopy``).
+
+    Spec options are validated JSON-able at build time, so the only
+    containers are dicts/lists/tuples and every leaf is an immutable
+    scalar that can be shared.
+    """
+    if isinstance(value, dict):
+        return {key: _copy_tree(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_tree(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_copy_tree(item) for item in value)
+    return value
+
+
 def strategy_text(strategy: Any) -> Optional[str]:
     """Canonical DSL text for a strategy argument (str/Strategy/None)."""
     if strategy is None:
@@ -198,17 +238,27 @@ class TrialSpec:
         the tail of the packet trace is flight-dumped before the
         exception propagates.
         """
-        import copy
-
-        from ..core import Strategy
+        from .. import fastpath
         from ..eval.runner import Trial
         from ..obs import runlog as obs_runlog
         from ..obs import spans
+        from ..packets import pool
 
+        # The rate-only fast path: nobody wants the trace, the global
+        # switch is on, and no run log is active (a flight dump on error
+        # needs the trace). The trial then skips trace capture entirely
+        # and recycles packets through the arena. ``capture_trace`` is
+        # deliberately NOT part of the spec options — it cannot change
+        # the verdict, so it must not change the cache key either.
+        use_fast = (
+            not keep_trace
+            and fastpath.enabled()
+            and obs_runlog.active_runlog() is None
+        )
         with spans.span("trial"):
             with spans.span("trial/spec_decode"):
                 server = (
-                    Strategy.parse(self.server_strategy)
+                    _parse_strategy(self.server_strategy)
                     if self.server_strategy is not None
                     else None
                 )
@@ -216,23 +266,36 @@ class TrialSpec:
                 # the DNS try count into the workload dict), and the spec
                 # must stay byte-stable so its content hash is the same
                 # before and after execution.
-                kwargs = copy.deepcopy(self.options)
+                kwargs = _copy_tree(self.options)
                 if self.client_strategy is not None:
-                    kwargs["client_strategy"] = Strategy.parse(self.client_strategy)
+                    kwargs["client_strategy"] = _parse_strategy(self.client_strategy)
                 if self.impairment is not None:
                     kwargs["impairment"] = dict(self.impairment)
-            with spans.span("trial/build"):
-                trial = Trial(
-                    self.country, self.protocol, server, seed=self.seed, **kwargs
-                )
-            try:
-                with spans.span("trial/simulate", clock=trial.scheduler):
-                    result = trial.run()
-            except Exception as exc:
-                log = obs_runlog.active_runlog()
-                if log is not None:
-                    log.record_exception(self, exc, trace=trial.network.trace)
-                raise
+                if use_fast and "capture_trace" not in kwargs:
+                    kwargs["capture_trace"] = False
+            if use_fast:
+                # Exceptions propagate; the pooled block abandons (never
+                # reuses) in-flight packets on the error path.
+                with pool.pooled():
+                    with spans.span("trial/build"):
+                        trial = Trial(
+                            self.country, self.protocol, server, seed=self.seed, **kwargs
+                        )
+                    with spans.span("trial/simulate", clock=trial.scheduler):
+                        result = trial.run()
+            else:
+                with spans.span("trial/build"):
+                    trial = Trial(
+                        self.country, self.protocol, server, seed=self.seed, **kwargs
+                    )
+                try:
+                    with spans.span("trial/simulate", clock=trial.scheduler):
+                        result = trial.run()
+                except Exception as exc:
+                    log = obs_runlog.active_runlog()
+                    if log is not None:
+                        log.record_exception(self, exc, trace=trial.network.trace)
+                    raise
             with spans.span("trial/finalize"):
                 _TRIAL_OUTCOMES.inc(
                     country=self.country if self.country is not None else "none",

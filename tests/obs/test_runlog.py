@@ -103,7 +103,7 @@ class TestFlightRecorder:
         """A censor blowing up mid-trial flight-dumps the trace tail."""
         from repro.censors.gfw.box import ProtocolBox
 
-        def explode(self, packet, direction, ctx):
+        def explode(self, packet, direction, ctx, key=None):
             raise RuntimeError("censor crashed")
 
         monkeypatch.setattr(ProtocolBox, "observe", explode)
@@ -123,7 +123,7 @@ class TestFlightRecorder:
     def test_no_dump_without_active_runlog(self, monkeypatch):
         from repro.censors.gfw.box import ProtocolBox
 
-        def explode(self, packet, direction, ctx):
+        def explode(self, packet, direction, ctx, key=None):
             raise RuntimeError("censor crashed")
 
         monkeypatch.setattr(ProtocolBox, "observe", explode)

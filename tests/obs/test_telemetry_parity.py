@@ -83,6 +83,71 @@ class TestWorkerOrdinals:
         assert left.executed == right.executed == 6
 
 
+class TestDispatchTelemetryParity:
+    """Cold/warm and batched/single accounting is a property of the batch
+    composition, never of the worker count. The dispatch counter is a
+    non-deterministic family (batch *splits* legitimately reshape it), so
+    worker-count parity is pinned explicitly here instead of by the
+    deterministic-view diff."""
+
+    @staticmethod
+    def _mixed_batch():
+        # Two shardable groups (same spec shape, different seeds) plus
+        # two one-off specs: 7 batched + 2 single dispatches.
+        group_a = [
+            TrialSpec.build("china", "http", seed=trial_seed(31, i))
+            for i in range(4)
+        ]
+        group_b = [
+            TrialSpec.build("china", "smtp", seed=trial_seed(31, i))
+            for i in range(3)
+        ]
+        singles = [
+            TrialSpec.build("iran", "http", seed=trial_seed(31, 0)),
+            TrialSpec.build("china", "https", seed=trial_seed(31, 0)),
+        ]
+        return group_a + singles[:1] + group_b + singles[1:]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_batched_single_split_is_worker_count_independent(self, workers):
+        specs = self._mixed_batch()
+        _, snapshot, stats = _run(workers, specs)
+        assert stats.batched == 7
+        assert stats.single == 2
+        samples = snapshot["repro_executor_dispatch_total"]["samples"]
+        assert samples == {"mode=batched": 7, "mode=single": 2}
+
+    def test_cold_warm_counts_across_worker_counts(self, tmp_path):
+        specs = self._mixed_batch()
+
+        def run(workers, cache_dir):
+            with TrialExecutor(
+                workers=workers, cache=str(cache_dir), collect_metrics=True
+            ) as executor:
+                executor.run_batch(specs)   # everything cold
+                executor.run_batch(specs)   # everything warm
+                return executor.total_stats
+
+        one = run(1, tmp_path / "one")
+        two = run(2, tmp_path / "two")
+        for stats in (one, two):
+            assert stats.cold == len(specs)
+            assert stats.warm == len(specs)
+            assert stats.batched == 7
+            assert stats.single == 2
+        assert one.as_dict()["cold"] == two.as_dict()["cold"]
+        assert one.as_dict()["batched"] == two.as_dict()["batched"]
+
+    def test_stats_format_reports_dispatch_and_temperature(self):
+        specs = self._mixed_batch()
+        _, _, stats = _run(1, specs)
+        line = stats.format()
+        assert "cold=9" in line
+        assert "warm=0" in line
+        assert "batched=7" in line
+        assert "single=2" in line
+
+
 class TestExecutorRunlog:
     def test_records_in_submission_order_across_batches(self):
         from repro.obs import RunLog

@@ -1,0 +1,319 @@
+"""RFC 1624 incremental checksum: delta updates equal full recomputation.
+
+This is the property suite ``repro.packets.checksum`` leans on: the
+serializers patch cached wire images in place and delta-update the
+checksum, which is only safe if ``delta_checksum`` agrees with the full
+RFC 1071 recomputation for *every* rewrite — including the carry
+wraparound cases and the zero-checksum convention of UDP (RFC 768).
+Exactness holds whenever the datagram contains at least one non-zero
+16-bit word, which every real TCP/UDP pseudo-header guarantees (the
+protocol number is non-zero); the all-zero datagram is the one
+documented divergence and is pinned here too.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packets import IPv4, IPv6, TCP, UDP, internet_checksum
+from repro.packets.checksum import delta_checksum
+
+# ---------------------------------------------------------------------------
+# Pure-function properties
+
+
+def _patch(data: bytes, offset: int, new: bytes) -> bytes:
+    return data[:offset] + new + data[offset + len(new) :]
+
+
+# Every generated datagram starts with a non-zero word (UDP's protocol
+# number in a pseudo-header) so the folded sum stays in [1, 0xFFFF].
+_PREFIX = b"\x00\x11"
+
+
+@st.composite
+def _rewrites(draw):
+    body = draw(st.binary(min_size=2, max_size=62).map(
+        lambda b: b if len(b) % 2 == 0 else b + b"\x00"
+    ))
+    data = _PREFIX + body
+    # A 16-bit-aligned region inside the body (never the prefix word).
+    words = len(body) // 2
+    start = draw(st.integers(min_value=0, max_value=words - 1))
+    length = draw(st.integers(min_value=1, max_value=words - start))
+    offset = 2 + 2 * start
+    new = draw(st.binary(min_size=2 * length, max_size=2 * length))
+    return data, offset, new
+
+
+class TestDeltaChecksumProperty:
+    @given(_rewrites())
+    @settings(max_examples=300)
+    def test_delta_equals_full_recompute(self, rewrite):
+        data, offset, new = rewrite
+        old = data[offset : offset + len(new)]
+        patched = _patch(data, offset, new)
+        assert delta_checksum(internet_checksum(data), old, new) == (
+            internet_checksum(patched)
+        )
+
+    @given(_rewrites())
+    @settings(max_examples=100)
+    def test_delta_is_invertible(self, rewrite):
+        """Applying a rewrite and then undoing it restores the checksum."""
+        data, offset, new = rewrite
+        old = data[offset : offset + len(new)]
+        forward = delta_checksum(internet_checksum(data), old, new)
+        assert delta_checksum(forward, new, old) == internet_checksum(data)
+
+    @given(st.binary(min_size=2, max_size=32).map(
+        lambda b: b if len(b) % 2 == 0 else b + b"\x00"
+    ))
+    def test_identity_rewrite_preserves_checksum(self, body):
+        data = _PREFIX + body
+        checksum = internet_checksum(data)
+        assert delta_checksum(checksum, body, body) == checksum
+
+
+class TestCarryWraparound:
+    """Vectors engineered so the incremental sum overflows 16 bits."""
+
+    def test_all_ones_region_to_zero(self):
+        data = _PREFIX + b"\xff\xff" * 4
+        patched = _patch(data, 2, b"\x00\x00")
+        assert delta_checksum(internet_checksum(data), b"\xff\xff", b"\x00\x00") == (
+            internet_checksum(patched)
+        )
+
+    def test_zero_region_to_all_ones(self):
+        data = _PREFIX + b"\x00\x00" * 4
+        patched = _patch(data, 2, b"\xff\xff\xff\xff")
+        assert delta_checksum(
+            internet_checksum(data), b"\x00\x00\x00\x00", b"\xff\xff\xff\xff"
+        ) == internet_checksum(patched)
+
+    def test_repeated_fold(self):
+        # Long all-ones rewrite: the unfolded total exceeds 2^16 several
+        # times over, exercising the fold-until-fits loop.
+        data = _PREFIX + b"\x00\x00" * 16
+        new = b"\xff\xfe" * 16
+        patched = _patch(data, 2, new)
+        assert delta_checksum(internet_checksum(data), b"\x00\x00" * 16, new) == (
+            internet_checksum(patched)
+        )
+
+    def test_all_zero_datagram_is_the_documented_divergence(self):
+        """The one case RFC 1624 cannot distinguish: a datagram whose
+        one's-complement sum is +0 (all-zero bytes). Real pseudo-headers
+        never hit it (the protocol word is non-zero)."""
+        data = b"\x00\x00" * 4
+        delta = delta_checksum(internet_checksum(data), b"\x00\x00", b"\x00\x00")
+        assert delta in (0x0000, 0xFFFF)  # -0 vs +0 representation
+
+
+class TestValidation:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            delta_checksum(0, b"\x00\x00", b"\x00\x00\x00\x00")
+
+    def test_rejects_unaligned_regions(self):
+        with pytest.raises(ValueError):
+            delta_checksum(0, b"\x00", b"\x01")
+
+
+# ---------------------------------------------------------------------------
+# Serializer-level properties: the patched wire image of a mutated packet
+# must be byte-identical to a from-scratch serialization.
+
+
+def _fresh_tcp(sport, dport, seq, ack, flags, window, urgptr, load):
+    segment = TCP(
+        sport=sport, dport=dport, seq=seq, ack=ack,
+        flags=flags, window=window, urgptr=urgptr, load=load,
+    )
+    return segment
+
+
+_FLAGS = st.sampled_from(["S", "A", "SA", "R", "F", "PA", "RA", "FA"])
+
+
+class TestTCPWirePatch:
+    @given(
+        field=st.sampled_from(["sport", "dport", "seq", "ack", "window", "urgptr"]),
+        value=st.integers(min_value=0, max_value=0xFFFF),
+        load=st.binary(max_size=32),
+    )
+    @settings(max_examples=200)
+    def test_scalar_mutation_patches_exactly(self, field, value, load):
+        segment = _fresh_tcp(1234, 25, 100, 200, "PA", 8192, 0, load)
+        first = segment.serialize("10.0.0.1", "10.0.0.2")
+        setattr(segment, field, value)
+        patched = segment.serialize("10.0.0.1", "10.0.0.2")
+        fresh = _fresh_tcp(
+            segment.sport, segment.dport, segment.seq, segment.ack,
+            segment.flags, segment.window, segment.urgptr, load,
+        ).serialize("10.0.0.1", "10.0.0.2")
+        assert patched == fresh
+        assert len(patched) == len(first)
+
+    @given(old=_FLAGS, new=_FLAGS, load=st.binary(max_size=16))
+    @settings(max_examples=100)
+    def test_flag_mutation_patches_exactly(self, old, new, load):
+        segment = _fresh_tcp(1234, 25, 100, 200, old, 8192, 0, load)
+        segment.serialize("10.0.0.1", "10.0.0.2")
+        segment.flags = new
+        patched = segment.serialize("10.0.0.1", "10.0.0.2")
+        fresh = _fresh_tcp(1234, 25, 100, 200, new, 8192, 0, load)
+        assert patched == fresh.serialize("10.0.0.1", "10.0.0.2")
+
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.sampled_from(["sport", "dport", "seq", "ack", "window"]),
+                st.integers(min_value=0, max_value=0xFFFF),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=100)
+    def test_mutation_chains_stay_exact(self, values):
+        """Repeated patch-on-patch cycles never drift from a full build."""
+        segment = _fresh_tcp(1, 2, 3, 4, "S", 5, 0, b"hello")
+        segment.serialize("10.0.0.1", "10.0.0.2")
+        for field, value in values:
+            setattr(segment, field, value)
+            patched = segment.serialize("10.0.0.1", "10.0.0.2")
+            fresh = _fresh_tcp(
+                segment.sport, segment.dport, segment.seq, segment.ack,
+                segment.flags, segment.window, segment.urgptr, b"hello",
+            )
+            assert patched == fresh.serialize("10.0.0.1", "10.0.0.2")
+
+    @given(value=st.integers(min_value=0, max_value=0xFFFF))
+    def test_patched_checksum_verifies(self, value):
+        """The delta-updated checksum passes the receiver's validation."""
+        segment = _fresh_tcp(1234, 25, 100, 200, "PA", 8192, 0, b"payload")
+        segment.serialize("10.0.0.1", "10.0.0.2")
+        segment.window = value
+        wire = segment.serialize("10.0.0.1", "10.0.0.2")
+        parsed = TCP.parse(wire, "10.0.0.1", "10.0.0.2")
+        assert parsed.chksum_override is None  # checksum recognized as valid
+        assert parsed.checksum_ok("10.0.0.1", "10.0.0.2")
+
+
+class TestIPv4WirePatch:
+    @given(
+        field=st.sampled_from(["ttl", "tos", "ident", "frag"]),
+        value=st.integers(min_value=0, max_value=0xFF),
+        payload=st.binary(max_size=32),
+    )
+    @settings(max_examples=200)
+    def test_scalar_mutation_patches_exactly(self, field, value, payload):
+        header = IPv4(src="10.0.0.1", dst="10.0.0.2", ttl=64)
+        header.serialize(payload)
+        setattr(header, field, value)
+        patched = header.serialize(payload)
+        fresh = IPv4(
+            src="10.0.0.1", dst="10.0.0.2", ttl=header.ttl,
+            ident=header.ident, tos=header.tos,
+            flags=header.flags, frag=header.frag,
+        )
+        assert patched == fresh.serialize(payload)
+
+    @given(value=st.integers(min_value=1, max_value=0xFF))
+    def test_patched_header_checksum_verifies(self, value):
+        header = IPv4(src="10.0.0.1", dst="10.0.0.2", ttl=64)
+        header.serialize(b"x" * 8)
+        header.ttl = value
+        wire = header.serialize(b"x" * 8)
+        # RFC 1071: summing a header over its own checksum yields zero.
+        assert internet_checksum(wire[:20]) == 0
+        parsed, payload = IPv4.parse(wire)
+        assert parsed.ttl == value
+        assert payload == b"x" * 8
+
+
+class TestIPv6WirePatch:
+    @given(
+        field=st.sampled_from(["hop_limit", "proto", "traffic_class"]),
+        value=st.integers(min_value=0, max_value=0xFF),
+        payload=st.binary(max_size=32),
+    )
+    @settings(max_examples=150)
+    def test_scalar_mutation_patches_exactly(self, field, value, payload):
+        header = IPv6(src="2001:db8::1", dst="2001:db8::2")
+        header.serialize(payload)
+        setattr(header, field, value)
+        patched = header.serialize(payload)
+        fresh = IPv6(
+            src="2001:db8::1", dst="2001:db8::2",
+            hop_limit=header.hop_limit, proto=header.proto,
+            traffic_class=header.traffic_class, flow_label=header.flow_label,
+        )
+        assert patched == fresh.serialize(payload)
+
+    @given(value=st.integers(min_value=0, max_value=0xFFFFF))
+    def test_flow_label_patch(self, value):
+        header = IPv6(src="2001:db8::1", dst="2001:db8::2")
+        header.serialize(b"payload!")
+        header.flow_label = value
+        wire = header.serialize(b"payload!")
+        parsed, _ = IPv6.parse(wire)
+        assert parsed.flow_label == value
+
+
+class TestZeroChecksumUDP:
+    """RFC 768: a computed checksum of zero is transmitted as 0xFFFF."""
+
+    @staticmethod
+    def _zero_checksum_load(sport, dport, src, dst):
+        """Craft a payload whose UDP checksum computes to exactly zero.
+
+        Appending the complemented fold of a datagram as its final word
+        makes the total sum verify to zero — but the length fields shift
+        when the load grows, so solve with the final length fixed.
+        """
+        base = b"\x00\x00"  # placeholder for the compensating word
+        datagram = UDP(sport=sport, dport=dport, load=b"dns-query\x00" + base)
+        length = 8 + len(datagram.load)
+        from repro.packets.checksum import pseudo_header
+
+        head = struct.pack("!HHHH", sport, dport, length, 0) + b"dns-query\x00"
+        pseudo = pseudo_header(src, dst, 17, length)
+        fixup = internet_checksum(pseudo + head + base)
+        datagram.load = b"dns-query\x00" + struct.pack("!H", fixup)
+        return datagram
+
+    def test_zero_computes_as_ffff_on_the_wire(self):
+        datagram = self._zero_checksum_load(53, 53, "10.0.0.1", "10.0.0.2")
+        wire = datagram.serialize("10.0.0.1", "10.0.0.2")
+        (chksum,) = struct.unpack("!H", wire[6:8])
+        assert chksum == 0xFFFF
+
+    def test_delta_agrees_with_substituted_recompute(self):
+        """When a rewrite lands the sum on zero, ``delta_checksum`` returns
+        the same 0 the full recompute does, so callers applying the RFC 768
+        substitution afterwards agree with a from-scratch serialization."""
+        datagram = self._zero_checksum_load(53, 53, "10.0.0.1", "10.0.0.2")
+        from repro.packets.checksum import pseudo_header
+
+        length = 8 + len(datagram.load)
+        pseudo = pseudo_header("10.0.0.1", "10.0.0.2", 17, length)
+        zeroed = struct.pack("!HHHH", 53, 53, length, 0) + datagram.load
+        full = internet_checksum(pseudo + zeroed)
+        assert full == 0
+        # Reach the same datagram by delta-updating from a sibling that
+        # differs in one payload word.
+        other = zeroed[:-2] + b"\x12\x34"
+        start = internet_checksum(pseudo + other)
+        assert delta_checksum(start, b"\x12\x34", zeroed[-2:]) == full
+
+    def test_round_trip_preserves_validity(self):
+        datagram = self._zero_checksum_load(53, 53, "10.0.0.1", "10.0.0.2")
+        wire = datagram.serialize("10.0.0.1", "10.0.0.2")
+        parsed = UDP.parse(wire, "10.0.0.1", "10.0.0.2")
+        assert parsed.chksum_override is None
+        assert parsed.load == datagram.load
