@@ -163,5 +163,17 @@ class BaseServer:
         self.connections.append(endpoint)
         self._on_connection(endpoint)
 
+    def forget_connection(self, endpoint: TCPEndpoint) -> None:
+        """Drop a recycled connection (fleet mode prunes on close).
+
+        Single-flow trials never call this — ``connections`` retains the
+        handful of endpoints a trial accepts — but a long-lived fleet
+        server would otherwise accumulate one entry per client forever.
+        """
+        try:
+            self.connections.remove(endpoint)
+        except ValueError:
+            pass
+
     def _on_connection(self, endpoint: TCPEndpoint) -> None:
         raise NotImplementedError

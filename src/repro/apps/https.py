@@ -88,7 +88,10 @@ class HTTPSServer(BaseServer):
             if sni is None:
                 return
             state["answered"] = True
-            endpoint.send(build_server_hello(sni, self.host.rng))
+            # Draw from the endpoint's RNG (the host RNG in a single-flow
+            # trial; a per-flow stream on a fleet-mode shared server), so
+            # one client's TLS randomness never perturbs another's.
+            endpoint.send(build_server_hello(sni, endpoint.rng))
             endpoint.send(build_application_data(expected_tls_payload(sni)))
             endpoint.close()
 

@@ -13,7 +13,11 @@ Subcommands:
 - ``campaign``   sharded, checkpointed, resumable experiment campaigns
   (``campaign run SPEC --out DIR [--resume] [--shard I/N]``,
   ``campaign presets``, ``campaign status DIR``; see
-  ``docs/campaigns.md``).
+  ``docs/campaigns.md``);
+- ``fleet``      long-lived serving simulation: one deployed server,
+  thousands of concurrent client flows in a single world
+  (``fleet --clients 1000 --workers 4 --json out.json``; see
+  ``docs/fleet.md``).
 
 ``rates``, ``matrix`` and ``reproduce`` accept network-impairment flags
 (``--loss/--dup/--reorder/--net-seed``) to run under a degraded path.
@@ -295,6 +299,55 @@ def build_parser() -> argparse.ArgumentParser:
 
     camp_sub.add_parser("presets", help="list the canned campaign presets")
 
+    p_fleet = sub.add_parser(
+        "fleet", help="one deployed server vs a stream of concurrent client flows"
+    )
+    p_fleet.add_argument(
+        "--clients", type=positive_workers, default=500,
+        help="number of client flows in the arrival stream (default 500)",
+    )
+    p_fleet.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    p_fleet.add_argument(
+        "--spacing", type=float, default=0.1, metavar="S",
+        help="fixed inter-arrival gap in virtual seconds (default 0.1)",
+    )
+    p_fleet.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="Poisson arrival rate in flows per virtual second "
+             "(overrides --spacing)",
+    )
+    p_fleet.add_argument(
+        "--countries", nargs="*", default=None, choices=_COUNTRIES,
+        help="restrict the default mix to these countries "
+             "('none' keeps the uncensored cohort)",
+    )
+    p_fleet.add_argument(
+        "--max-time", type=float, default=40.0, metavar="T",
+        help="per-flow virtual deadline (default 40, the single-trial horizon)",
+    )
+    p_fleet.add_argument(
+        "--trace", choices=["none", "ring", "full"], default="none",
+        help="per-flow trace capture (default none; 'none' enables "
+             "packet-arena leases)",
+    )
+    p_fleet.add_argument(
+        "--workers", type=positive_workers, default=1,
+        help="worker processes (flows shard round-robin; records are "
+             "byte-identical for any worker count)",
+    )
+    p_fleet.add_argument(
+        "--status", action="store_true",
+        help="print a live status line as flows complete (serial runs only)",
+    )
+    p_fleet.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the deterministic FleetStats JSON artifact to FILE",
+    )
+    p_fleet.add_argument(
+        "--metrics-json", default=None, metavar="FILE",
+        help="write the run's metric snapshot as JSON to FILE",
+    )
+
     c_status = camp_sub.add_parser(
         "status", help="show a campaign ledger's progress"
     )
@@ -487,12 +540,66 @@ def _campaign(args) -> int:
     return 0
 
 
+def _fleet(args) -> int:
+    """Dispatch the ``fleet`` command."""
+    from .fleet import DEFAULT_MIX, FleetSpec, run_fleet
+
+    mix = DEFAULT_MIX
+    if args.countries is not None:
+        wanted = {None if name == "none" else name for name in args.countries}
+        mix = tuple(entry for entry in DEFAULT_MIX if entry.country in wanted)
+        if not mix:
+            raise SystemExit("fleet: --countries filtered out the entire mix")
+    spec = FleetSpec(
+        clients=args.clients,
+        seed=args.seed,
+        mix=mix,
+        spacing=args.spacing,
+        rate=args.rate,
+        max_time=args.max_time,
+        trace=args.trace,
+    )
+
+    on_flow_done = None
+    if args.status and args.workers == 1:
+        from .fleet import FleetStats
+
+        step = max(1, args.clients // 25)
+        status = FleetStats(spec, []).format_status
+
+        def on_flow_done(world, record):
+            done = len(world.records)
+            if done % step == 0 or done == args.clients:
+                print(status(world))
+
+    if args.metrics_json:
+        from .obs import write_metrics_json
+        from .obs.metrics import collecting
+
+        with collecting() as registry:
+            result = run_fleet(spec, workers=args.workers, on_flow_done=on_flow_done)
+        write_metrics_json(args.metrics_json, registry.snapshot())
+        print(f"wrote metrics to {args.metrics_json}")
+    else:
+        result = run_fleet(spec, workers=args.workers, on_flow_done=on_flow_done)
+
+    print(result.stats.format_report())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(result.stats.to_json())
+        print(f"wrote fleet artifact to {args.json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "campaign":
         return _campaign(args)
+
+    if args.command == "fleet":
+        return _fleet(args)
 
     if args.command == "strategies":
         for number, record in SERVER_STRATEGIES.items():

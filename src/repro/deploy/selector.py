@@ -12,7 +12,7 @@ completely vanilla TCP.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import Strategy, deployed_strategy
 from ..packets import Packet
@@ -110,11 +110,30 @@ class PerClientEngine:
         selector: GeoStrategySelector,
         protocol: str,
         rng: Optional[random.Random] = None,
+        rng_provider: Optional[Callable[[str], random.Random]] = None,
+        port_protocols: Optional[Dict[int, str]] = None,
     ) -> None:
         self.selector = selector
         self.protocol = protocol
         self.rng = rng if rng is not None else random.Random(0)
+        #: Optional per-client RNG streams (fleet mode): maps a client
+        #: address to the RNG used when applying that client's strategy,
+        #: so concurrent flows draw from independent seeded streams. When
+        #: unset, the single shared ``rng`` is used (single-flow trials).
+        self.rng_provider = rng_provider
+        #: Optional multi-protocol serving (fleet mode): maps a listening
+        #: port to the protocol name used for the strategy-table lookup,
+        #: falling back to the engine-wide ``protocol``.
+        self.port_protocols = dict(port_protocols or {})
         self.decisions: Dict[tuple, Optional[Strategy]] = {}
+
+    def _protocol_for(self, port: int) -> str:
+        return self.port_protocols.get(port, self.protocol)
+
+    def _rng_for(self, client_ip: str) -> random.Random:
+        if self.rng_provider is not None:
+            return self.rng_provider(client_ip)
+        return self.rng
 
     def inbound_filter(self, packet: Packet) -> List[Packet]:
         """Record the strategy decision when a client SYN arrives."""
@@ -122,7 +141,7 @@ class PerClientEngine:
             key = (packet.src, packet.sport, packet.dport)
             if key not in self.decisions:
                 self.decisions[key] = self.selector.strategy_for(
-                    packet.src, self.protocol
+                    packet.src, self._protocol_for(packet.dport)
                 )
         return [packet]
 
@@ -132,7 +151,13 @@ class PerClientEngine:
         strategy = self.decisions.get(key)
         if strategy is None:
             return [packet]
-        return strategy.apply_outbound(packet, self.rng)
+        return strategy.apply_outbound(packet, self._rng_for(packet.dst))
+
+    def forget_client(self, client_ip: str) -> None:
+        """Drop every recorded decision for one client (flow recycled)."""
+        stale = [key for key in self.decisions if key[0] == client_ip]
+        for key in stale:
+            del self.decisions[key]
 
 
 def install_per_client(

@@ -8,21 +8,26 @@ recording for waterfall diagrams.
 """
 
 from .events import Scheduler, Timer
+from .flows import FlowHandle, FlowRouter, FlowScheduler
 from .impairment import Impairment
 from .middlebox import DIRECTION_C2S, DIRECTION_S2C, Middlebox, PathContext, TransparentTap
 from .network import Network, NetworkNode
 from .pcap import read_pcap, trace_to_pcap_bytes, write_pcap
-from .trace import NullTrace, Trace, TraceEvent
+from .trace import NullTrace, RingTrace, Trace, TraceEvent
 
 __all__ = [
     "DIRECTION_C2S",
     "DIRECTION_S2C",
+    "FlowHandle",
+    "FlowRouter",
+    "FlowScheduler",
     "Impairment",
     "Middlebox",
     "Network",
     "NetworkNode",
     "NullTrace",
     "PathContext",
+    "RingTrace",
     "Scheduler",
     "Timer",
     "Trace",

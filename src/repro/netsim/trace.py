@@ -9,12 +9,13 @@ these to regenerate the paper's Figure 1 / Figure 2 diagrams.
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..packets import Packet
 
-__all__ = ["Trace", "TraceEvent", "NullTrace"]
+__all__ = ["Trace", "TraceEvent", "NullTrace", "RingTrace"]
 
 
 @dataclass
@@ -114,3 +115,49 @@ class NullTrace(Trace):
         detail: str = "",
     ) -> None:
         """Discard the event."""
+
+
+class RingTrace(Trace):
+    """A bounded trace retaining only the most recent events.
+
+    Fleet mode hosts thousands of flows in one world; a full
+    :class:`Trace` per flow would accumulate unbounded packet copies.
+    The ring keeps the last ``capacity`` events — enough tail to debug a
+    verdict — and discards the rest. Because it *does* retain (copied)
+    packets, a ring-traced flow is not eligible for arena pooling, same
+    rule as a full trace.
+
+    ``digest()`` covers only the retained window, so it is a diagnostic
+    fingerprint, not the bit-identity digest of the whole flow; use a
+    full :class:`Trace` (fleet ``trace="full"``) for equivalence checks.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.events = deque(maxlen=capacity)  # type: ignore[assignment]
+        self.dropped = 0
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        location: str,
+        packet: Optional[Packet] = None,
+        detail: str = "",
+    ) -> None:
+        """Append an event, evicting the oldest once at capacity."""
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        copied = packet.copy() if packet is not None else None
+        self.events.append(TraceEvent(time, kind, location, copied, detail))
+
+    def filter(self, kind: Optional[str] = None, location: Optional[str] = None) -> List[TraceEvent]:
+        """Return retained events matching the given kind/location."""
+        result = list(self.events)
+        if kind is not None:
+            result = [event for event in result if event.kind == kind]
+        if location is not None:
+            result = [event for event in result if event.location == location]
+        return result

@@ -32,7 +32,7 @@ from typing import Iterator, List, Optional
 from .ip import FLAG_DF, IP_PROTO_TCP, IPv4
 from .tcp import TCP
 
-__all__ = ["PacketArena", "pooled", "active_arena"]
+__all__ = ["ArenaLease", "PacketArena", "pooled", "active_arena"]
 
 #: Resolved on first use; packet.py imports this module, so the class
 #: cannot be imported at module load without a cycle.
@@ -181,8 +181,51 @@ class PacketArena:
         """Forget live trios without reusing them (exception path)."""
         self._live.clear()
 
+    def lease(self) -> "ArenaLease":
+        """Split off a lease sharing this arena's free list.
+
+        Fleet mode runs many flows concurrently in one event loop, each
+        with its own acquire/reclaim lifetime; a lease gives each flow an
+        independent live set while every reclaimed trio lands back on the
+        shared free list for any flow to reuse.
+        """
+        return ArenaLease(self)
+
     def __len__(self) -> int:
         return len(self._free)
+
+
+class ArenaLease(PacketArena):
+    """A per-flow view of a shared arena: own live set, shared free list.
+
+    ``acquire_*`` behave exactly like the parent's (inherited — the free
+    list object is aliased, so pops and reclaim appends hit the shared
+    pool), but ``_live`` is private to the lease. A flow reclaims its
+    lease when it quiesces, independent of every other in-flight flow,
+    and the hygiene guarantee is unchanged: every acquire re-initializes
+    every slot, so it cannot matter which flow last touched a trio.
+    """
+
+    __slots__ = ("parent",)
+
+    def __init__(self, parent: PacketArena) -> None:
+        self.parent = parent
+        self.max_free = parent.max_free
+        self._free = parent._free  # aliased: one shared free list
+        self._live = []
+        self.created = 0
+        self.reused = 0
+
+    def _get(self):
+        reused = bool(self._free)
+        packet = PacketArena._get(self)
+        # Mirror counters onto the parent: leases are recycled with their
+        # flow, but the arena-wide tallies must survive them.
+        if reused:
+            self.parent.reused += 1
+        else:
+            self.parent.created += 1
+        return packet
 
 
 #: The process-wide arena; pooling is rare enough to recycle one free list.

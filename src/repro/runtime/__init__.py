@@ -15,7 +15,7 @@ This is the scaling substrate every evaluation module funnels through:
 
 from .cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache, resolve_cache
 from .executor import RunStats, TrialExecutor
-from .seeds import net_stream_seed, splitmix64, trial_seed
+from .seeds import fleet_stream_seed, net_stream_seed, splitmix64, trial_seed
 from .spec import SpecError, TrialSpec, strategy_text
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "SpecError",
     "TrialExecutor",
     "TrialSpec",
+    "fleet_stream_seed",
     "net_stream_seed",
     "resolve_cache",
     "splitmix64",

@@ -12,7 +12,7 @@ executor paths use this single definition, so they are bit-identical.
 
 from __future__ import annotations
 
-__all__ = ["splitmix64", "trial_seed", "net_stream_seed"]
+__all__ = ["splitmix64", "trial_seed", "net_stream_seed", "fleet_stream_seed"]
 
 _MASK64 = (1 << 64) - 1
 #: splitmix64's additive constant (the 64-bit golden ratio).
@@ -21,6 +21,9 @@ _GOLDEN = 0x9E3779B97F4A7C15
 #: Domain-separation salt for the network-impairment stream. Any value
 #: works as long as it is fixed; this one spells "net noise" loosely.
 _NET_SALT = 0x4E45_545F_4E4F_4953
+
+#: Domain-separation salt for fleet-mode world streams ("FLEET" in hex).
+_FLEET_SALT = 0x464C_4545_545F_5357
 
 
 def splitmix64(value: int) -> int:
@@ -60,3 +63,18 @@ def net_stream_seed(seed: int) -> int:
     never heard of impairment.
     """
     return splitmix64((seed & _MASK64) ^ _NET_SALT) >> 1
+
+
+def fleet_stream_seed(seed: int, stream: int = 0) -> int:
+    """Split a fleet-world stream (arrivals, mix assignment, ...) off a seed.
+
+    Fleet mode derives per-flow *trial* seeds with :func:`trial_seed`
+    (flow ``i`` of a fleet with ``seed`` replays trial ``i`` of a batch
+    with the same seed — the anchor of the single-flow-equivalence
+    guarantee). World-level draws — arrival spacing, client-mix
+    assignment — must therefore come from streams that cannot collide
+    with any flow's trial seed; a fixed fleet salt plus a per-stream
+    index keeps them domain-separated and reproducible.
+    """
+    mixed = splitmix64((seed & _MASK64) ^ _FLEET_SALT)
+    return splitmix64(mixed ^ splitmix64(stream & _MASK64)) >> 1

@@ -38,6 +38,15 @@ class Host:
             strategies live here on the server).
         inbound_filters: Filters applied to every wire packet after
             checksum validation and before TCP processing.
+        flow_rng_provider: Optional hook mapping a passive-open demux key
+            ``(remote_ip, remote_port, local_port)`` to the RNG the new
+            endpoint should draw from (``None`` → the host RNG, the
+            historical behaviour). Fleet mode uses this to give every
+            client flow on a shared server host its own seeded stream,
+            so one flow's ISN/TLS draws never perturb another's.
+        on_endpoint_closed: Optional hook invoked with each endpoint as
+            it is removed from the demux table — the recycling signal
+            fleet mode uses to prune per-connection application state.
     """
 
     def __init__(
@@ -62,6 +71,10 @@ class Host:
         self._listeners: Dict[int, Callable[[TCPEndpoint], None]] = {}
         self._udp_binds: Dict[int, Callable[[Packet], None]] = {}
         self._next_ephemeral = _EPHEMERAL_BASE + rng.randrange(1000)
+        self.flow_rng_provider: Optional[
+            Callable[[Tuple[str, int, int]], Optional[random.Random]]
+        ] = None
+        self.on_endpoint_closed: Optional[Callable[[TCPEndpoint], None]] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -134,6 +147,8 @@ class Host:
         key = (endpoint.remote_ip, endpoint.remote_port, endpoint.local_port)
         if self._endpoints.get(key) is endpoint:
             del self._endpoints[key]
+            if self.on_endpoint_closed is not None:
+                self.on_endpoint_closed(endpoint)
 
     def endpoints(self) -> List[TCPEndpoint]:
         """All currently-tracked endpoints (open connections)."""
@@ -187,12 +202,18 @@ class Host:
             return
         listener = self._listeners.get(packet.dport)
         if listener is not None and packet.tcp.is_syn:
+            rng = (
+                self.flow_rng_provider(key)
+                if self.flow_rng_provider is not None
+                else None
+            )
             endpoint = TCPEndpoint(
                 host=self,
                 local_port=packet.dport,
                 remote_ip=packet.src,
                 remote_port=packet.sport,
                 personality=self.personality,
+                rng=rng,
             )
             self._endpoints[key] = endpoint
             listener(endpoint)

@@ -1,0 +1,105 @@
+"""Differential harness: a one-flow fleet world == the classic Trial path.
+
+The fleet layer's design contract is that for a world containing exactly
+one flow arriving at t=0, every event — timestamps, RNG draws, verdicts,
+and the full wire-level trace digest — is bit-identical to running
+``Trial(country, protocol, None, seed=...)`` with the same per-client
+strategy engine installed on its dedicated server. This suite pins that
+for every (country, protocol) pair from Table 1 plus the uncensored
+cohort, under both fast-path settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fastpath
+from repro.deploy import install_per_client
+from repro.eval.runner import COUNTRY_PROTOCOLS, Trial
+from repro.fleet import (
+    FleetMixEntry,
+    FleetSpec,
+    FleetWorld,
+    derive_flow_rngs,
+    fleet_selector,
+    flow_client_ip,
+)
+from repro.runtime import trial_seed
+
+ALL_PAIRS = [
+    (country, protocol)
+    for country in sorted(COUNTRY_PROTOCOLS)
+    for protocol in COUNTRY_PROTOCOLS[country]
+] + [(None, "http"), (None, "https")]
+
+FLEET_SEED = 1234
+
+
+def run_fleet_single(country, protocol, fleet_seed=FLEET_SEED):
+    """One-client fleet world with full trace capture; returns its record."""
+    spec = FleetSpec(
+        clients=1,
+        seed=fleet_seed,
+        mix=(FleetMixEntry(country, protocol),),
+        trace="full",
+    )
+    world = FleetWorld(spec)
+    records = world.run()
+    assert len(records) == 1
+    return records[0]
+
+
+def run_trial_baseline(country, protocol, fleet_seed=FLEET_SEED):
+    """The classic per-connection path for fleet flow 0 of the same seed."""
+    seed = trial_seed(fleet_seed, 0)
+    rngs = derive_flow_rngs(seed)
+    trial = Trial(
+        country,
+        protocol,
+        None,
+        seed=seed,
+        client_ip=flow_client_ip(country, 0),
+        capture_trace=True,
+    )
+    install_per_client(trial.server_host, fleet_selector(), protocol, rngs.strategy)
+    return trial.run()
+
+
+@pytest.mark.parametrize(
+    "country,protocol", ALL_PAIRS, ids=[f"{c or 'none'}-{p}" for c, p in ALL_PAIRS]
+)
+def test_single_flow_matches_trial(country, protocol):
+    record = run_fleet_single(country, protocol)
+    result = run_trial_baseline(country, protocol)
+
+    assert record["outcome"] == result.outcome
+    assert record["succeeded"] == result.succeeded
+    assert record["censored"] == result.censored
+    assert record["trace_digest"] == result.trace.digest()
+
+
+@pytest.mark.parametrize("country,protocol", [("china", "http"), ("iran", "https")])
+def test_single_flow_matches_trial_without_fastpath(country, protocol):
+    with fastpath.disabled():
+        record = run_fleet_single(country, protocol)
+        result = run_trial_baseline(country, protocol)
+    assert record["outcome"] == result.outcome
+    assert record["trace_digest"] == result.trace.digest()
+
+
+@pytest.mark.parametrize("country,protocol", [("china", "https"), ("kazakhstan", "http")])
+def test_single_flow_digest_fastpath_invariant(country, protocol):
+    """The fleet trace digest itself is identical with the fast path off."""
+    on = run_fleet_single(country, protocol)
+    with fastpath.disabled():
+        off = run_fleet_single(country, protocol)
+    assert on == off
+
+
+def test_single_flow_equivalence_across_seeds():
+    """Equivalence is not a one-seed fluke: spot-check several seeds."""
+    for fleet_seed in (0, 7, 99):
+        record = run_fleet_single("china", "http", fleet_seed=fleet_seed)
+        result = run_trial_baseline("china", "http", fleet_seed=fleet_seed)
+        assert record["trace_digest"] == result.trace.digest()
+        assert record["outcome"] == result.outcome

@@ -1,8 +1,11 @@
 """Tests for the discrete-event scheduler."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.netsim import Scheduler
+from repro.netsim.flows import FlowScheduler
 
 
 class TestScheduling:
@@ -76,6 +79,69 @@ class TestCancellation:
         sched.schedule(1.0, lambda: later.cancel())
         sched.run()
         assert ran == []
+
+
+class TestOrderingProperty:
+    """Event ordering is stable: time-sorted, FIFO within a timestamp,
+    regardless of how schedule()/schedule_at()/cancel() interleave."""
+
+    # A few coarse timestamps so thousands of timers collide per instant.
+    _timestamps = st.sampled_from([0.0, 0.5, 1.0, 1.0, 1.0, 2.5])
+
+    @given(st.lists(_timestamps, min_size=1000, max_size=1500), st.random_module())
+    @settings(max_examples=10, deadline=None)
+    def test_fifo_within_timestamp_at_scale(self, whens, rnd):
+        import random as _random
+
+        sched = Scheduler()
+        fired = []
+        cancelled = set()
+        rng = _random.Random(rnd.seed)
+        for index, when in enumerate(whens):
+            # Interleave the two scheduling APIs and sprinkle cancels.
+            if index % 3 == 0:
+                sched.schedule_at(when, fired.append, (index,))
+            else:
+                timer = sched.schedule(when, lambda i=index: fired.append(i))
+                if rng.random() < 0.1:
+                    timer.cancel()
+                    cancelled.add(index)
+        sched.run()
+
+        expected = [
+            index
+            for when, index in sorted(
+                ((when, index) for index, when in enumerate(whens)),
+                key=lambda pair: (pair[0], pair[1]),
+            )
+            if index not in cancelled
+        ]
+        assert fired == expected
+
+    @given(st.lists(_timestamps, min_size=1000, max_size=1200))
+    @settings(max_examples=5, deadline=None)
+    def test_flow_scheduler_orders_identically(self, whens):
+        """FlowScheduler's 6-tuple entries sort exactly like the base
+        scheduler's — the single-flow-equivalence prerequisite."""
+        base, flows = Scheduler(), FlowScheduler()
+        base_order, flow_order = [], []
+        for index, when in enumerate(whens):
+            base.schedule(when, lambda i=index: base_order.append(i))
+            flows.schedule(when, lambda i=index: flow_order.append(i))
+        base.run()
+        flows.run()
+        assert flow_order == base_order
+
+    def test_nested_same_instant_events_run_after_queued(self):
+        """An event scheduled at the current instant runs behind every
+        event already queued for that instant (the deadline-bounce rule)."""
+        sched = Scheduler()
+        order = []
+        sched.schedule(1.0, lambda: (order.append("first"),
+                                     sched.schedule_at(1.0, order.append, ("bounced",))))
+        sched.schedule(1.0, lambda: order.append("second"))
+        sched.run()
+        assert order == ["first", "second", "bounced"]
 
 
 class TestSafety:

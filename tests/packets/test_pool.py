@@ -167,6 +167,94 @@ class TestReclaimBounds:
         assert len(pool._ARENA) >= min(before_free, pool._ARENA.max_free)
 
 
+class TestMixedIPVersions:
+    """Arena reuse cannot leak header fields between flows with differing
+    IP versions: IPv6 trios never enter the pool, and an IPv4 trio
+    re-acquired after an IPv6 flow ran through the same arena is pristine."""
+
+    def test_ipv6_packets_bypass_active_arena(self):
+        from repro.packets.ipv6 import IPv6
+
+        with pooled() as arena:
+            before = arena.created + arena.reused
+            packet = make_tcp_packet("2001:db8::1", "2001:db8::2", 1, 2)
+            assert isinstance(packet.ip, IPv6)
+            assert arena.created + arena.reused == before
+            assert not arena._live
+
+    def test_ipv6_copy_bypasses_active_arena(self):
+        packet = make_tcp_packet("2001:db8::1", "2001:db8::2", 1, 2, load=b"x")
+        with pooled() as arena:
+            before = arena.created + arena.reused
+            clone = packet.copy()
+            assert arena.created + arena.reused == before
+        assert clone.ip.src == packet.ip.src
+        assert clone.tcp.load == b"x"
+
+    def test_ipv4_trio_pristine_after_ipv6_flow(self):
+        """An IPv4 flow, then an IPv6 flow, then IPv4 again on leases of
+        one shared arena — the recycled trio matches a fresh build
+        field-for-field (the fleet mixed-version regression)."""
+        parent = PacketArena()
+
+        first = parent.lease()
+        dirty = first.acquire_tcp(
+            "10.0.0.1", "10.0.0.2", 1234, 80, load=b"GET /"
+        )
+        _dirty(dirty)
+        first.reclaim()
+        assert len(parent) == 1
+
+        second = parent.lease()
+        v6 = make_tcp_packet("2001:db8::1", "2001:db8::2", 5, 6, load=b"v6")
+        v6.copy()
+        second.reclaim()
+        assert len(parent) == 1  # the IPv6 trio never touched the pool
+
+        third = parent.lease()
+        packet = third.acquire_tcp("10.9.9.9", "10.8.8.8", 4321, 443)
+        assert parent.reused == 1
+        reference = make_tcp_packet("10.9.9.9", "10.8.8.8", 4321, 443)
+        assert type(packet.ip) is IPv4
+        for slot in IP_SLOTS:
+            assert getattr(packet.ip, slot) == getattr(reference.ip, slot), slot
+        for slot in TCP_SLOTS:
+            assert getattr(packet.tcp, slot) == getattr(reference.tcp, slot), slot
+        assert packet.serialize() == reference.serialize()
+
+
+class TestArenaLease:
+    def test_lease_shares_free_list_with_parent(self):
+        parent = PacketArena()
+        lease = parent.lease()
+        lease.acquire_tcp("10.0.0.1", "10.0.0.2", 1, 2)
+        lease.reclaim()
+        assert len(parent) == 1
+        # The parent (or any sibling lease) reuses the reclaimed trio.
+        parent.acquire_tcp("10.0.0.3", "10.0.0.4", 3, 4)
+        assert parent.reused == 1
+
+    def test_lease_live_sets_are_independent(self):
+        parent = PacketArena()
+        a, b = parent.lease(), parent.lease()
+        a.acquire_tcp("10.0.0.1", "10.0.0.2", 1, 2)
+        b.acquire_tcp("10.0.0.5", "10.0.0.6", 5, 6)
+        a.reclaim()  # flow A quiesces; flow B's packet stays live
+        assert len(a._live) == 0
+        assert len(b._live) == 1
+        assert len(parent) == 1
+
+    def test_lease_counters_mirror_to_parent(self):
+        parent = PacketArena()
+        lease = parent.lease()
+        lease.acquire_tcp("10.0.0.1", "10.0.0.2", 1, 2)
+        assert parent.created == 1
+        lease.reclaim()
+        other = parent.lease()
+        other.acquire_tcp("10.0.0.3", "10.0.0.4", 3, 4)
+        assert parent.reused == 1
+
+
 class TestActivation:
     def test_inactive_by_default(self):
         assert active_arena() is None

@@ -269,3 +269,56 @@ class TestImpairmentFlags:
     def test_matrix_accepts_impairment_flags(self, capsys):
         assert main(["matrix", "--loss", "0.02", "--net-seed", "1"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestFleetCommand:
+    def test_fleet_report_and_artifact(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        code = main([
+            "fleet", "--clients", "8", "--seed", "4", "--json", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "flows" in text and "evaded" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["flows"] == 8
+        assert len(payload["flow_records"]) == 8
+
+    def test_fleet_artifact_identical_across_worker_counts(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert main(["fleet", "--clients", "8", "--seed", "4", "--json", str(serial)]) == 0
+        assert main([
+            "fleet", "--clients", "8", "--seed", "4", "--workers", "2",
+            "--json", str(sharded),
+        ]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == sharded.read_bytes()
+
+    def test_fleet_status_lines(self, capsys):
+        assert main(["fleet", "--clients", "4", "--seed", "2", "--status"]) == 0
+        out = capsys.readouterr().out
+        assert "admitted 4/4" in out
+
+    def test_fleet_country_filter(self, capsys):
+        assert main(["fleet", "--clients", "5", "--seed", "1", "--countries", "iran"]) == 0
+        out = capsys.readouterr().out
+        assert "iran/" in out
+        assert "china/" not in out
+
+    def test_fleet_empty_filter_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--clients", "5", "--countries"])  # empty list
+
+    def test_fleet_metrics_json(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "fleet", "--clients", "4", "--seed", "2", "--metrics-json", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        import json
+
+        payload = json.loads(metrics.read_text())
+        assert any("repro_fleet" in name for name in payload)

@@ -132,3 +132,50 @@ class TestPerClientEngine:
         engine, result = self.run_with_selector("10.1.0.7")
         assert list(engine.decisions.values()) == [None]
         assert not result.succeeded
+
+    def test_two_concurrent_clients_different_countries(self):
+        """One engine, one run, two overlapping clients behind different
+        censors: each gets its own country's strategy, keyed by address."""
+        from repro.fleet import (
+            FleetMixEntry,
+            FleetSpec,
+            FleetWorld,
+            flow_client_ip,
+        )
+
+        spec = FleetSpec(
+            clients=2,
+            seed=9,
+            spacing=0.2,  # arrivals overlap well inside max_time
+            mix=(
+                FleetMixEntry("kazakhstan", "http"),
+                FleetMixEntry("iran", "http"),
+            ),
+        )
+        plans = spec.flow_plans()
+        # Pin one client per country regardless of the weighted draw.
+        plans = [
+            plans[0].__class__(
+                **{
+                    **plans[0].__dict__,
+                    "country": "kazakhstan",
+                    "client_ip": flow_client_ip("kazakhstan", 0),
+                }
+            ),
+            plans[1].__class__(
+                **{
+                    **plans[1].__dict__,
+                    "country": "iran",
+                    "client_ip": flow_client_ip("iran", 1),
+                }
+            ),
+        ]
+        world = FleetWorld(spec, plans=plans)
+        records = world.run()
+
+        assert [r["country"] for r in records] == ["kazakhstan", "iran"]
+        assert all(r["succeeded"] for r in records)
+        assert records[0]["strategy"] != records[1]["strategy"]
+        by_country = {r["country"]: r for r in records}
+        assert by_country["kazakhstan"]["client_ip"].startswith("10.2.")
+        assert by_country["iran"]["client_ip"].startswith("10.4.")

@@ -48,6 +48,8 @@ _KNOB_PATTERNS = [
     re.compile(pattern)
     for pattern in (
         r"(--trials\s+)(\d+)",
+        r"(--clients\s+)(\d+)",
+        r"(\bclients\s*=\s*)(\d+)",
         r"(--generations\s+)(\d+)",
         r"(--population\s+)(\d+)",
         r"(\btrials\s*=\s*)(\d+)",
