@@ -28,6 +28,7 @@ Quickstart::
 
 from .core import (
     NO_EVASION,
+    PAPER_STRATEGY_NUMBERS,
     SERVER_STRATEGIES,
     Strategy,
     StrategyEngine,
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "NO_EVASION",
+    "PAPER_STRATEGY_NUMBERS",
     "SERVER_STRATEGIES",
     "ResultCache",
     "RunStats",

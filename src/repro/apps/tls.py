@@ -5,6 +5,15 @@ censorship: a structurally valid ClientHello carrying a real Server Name
 Indication extension (what the GFW and Iran's DPI match on), a ServerHello
 response, and application-data records. Both the censors' SNI extraction
 and the client's response validation parse these bytes for real.
+
+The scanning entry points (:func:`scan_tls_handshake`,
+:func:`scan_client_hello`) are *incremental*: they understand a handshake
+message split across multiple TLS records and report a three-way status —
+``complete``, ``needs_more`` (a prefix of a well-formed hello; feed more
+bytes), or ``invalid`` (cannot be a well-formed hello no matter how many
+bytes follow). Reassembling censors key their give-up/strict-drop
+behaviour on that distinction, which is exactly where the record-level
+server-side strategies attack.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import random
 import struct
-from typing import Optional
+from typing import List, NamedTuple, Optional
 
 __all__ = [
     "build_client_hello",
@@ -20,11 +29,22 @@ __all__ = [
     "build_application_data",
     "parse_sni",
     "parse_esni",
+    "scan_tls_handshake",
+    "scan_client_hello",
+    "split_handshake_records",
+    "resplit_first_record",
     "expected_tls_payload",
+    "HandshakeScan",
+    "ClientHelloScan",
+    "SCAN_COMPLETE",
+    "SCAN_NEEDS_MORE",
+    "SCAN_INVALID",
     "RECORD_HANDSHAKE",
     "RECORD_APPDATA",
     "EXT_ENCRYPTED_SNI",
     "EXT_SERVER_NAME",
+    "HANDSHAKE_CLIENT_HELLO",
+    "HANDSHAKE_SERVER_HELLO",
 ]
 
 RECORD_HANDSHAKE = 0x16
@@ -42,6 +62,13 @@ EXT_SERVER_NAME = 0
 #: without user participation; a hello carrying ESNI instead of SNI gives
 #: DPI nothing to match.
 EXT_ENCRYPTED_SNI = 0xFFCE
+
+#: Scan verdicts. ``needs_more`` is the "keep buffering" sentinel a
+#: reassembling censor acts on; ``invalid`` means no suffix can complete
+#: the bytes into a well-formed hello.
+SCAN_COMPLETE = "complete"
+SCAN_NEEDS_MORE = "needs_more"
+SCAN_INVALID = "invalid"
 
 
 def _record(record_type: int, body: bytes) -> bytes:
@@ -116,68 +143,214 @@ def expected_tls_payload(server_name: str) -> bytes:
     return f"tls-content:{digest}".encode()
 
 
-def _client_hello_parts(data: bytes):
-    """Yield (random, ext_type, ext_body) triples from a ClientHello.
+# ----------------------------------------------------------------------
+# Record-level transforms (used by tests, docs, and the tlsrecord
+# strategy primitives).
 
-    Returns ``None`` (not an iterator) when the bytes are not a complete,
-    well-formed ClientHello.
+
+def split_handshake_records(data: bytes, chunk_size: int) -> Optional[bytes]:
+    """Re-encode one handshake record as several smaller records.
+
+    The classic *record splitting* transform: the record's body is cut
+    into ``chunk_size``-byte chunks, each re-wrapped in its own handshake
+    record header. The TLS stream is semantically identical (record
+    boundaries carry no meaning for handshake reassembly) but grows by
+    5 bytes per extra record. Returns ``None`` when ``data`` does not
+    start with a complete handshake record.
     """
-    if len(data) < 5 or data[0] != RECORD_HANDSHAKE:
+    if chunk_size <= 0 or len(data) < 5 or data[0] != RECORD_HANDSHAKE:
         return None
     record_len = struct.unpack("!H", data[3:5])[0]
     body = data[5 : 5 + record_len]
-    if len(body) < 4 or body[0] != HANDSHAKE_CLIENT_HELLO:
+    if len(body) < record_len:
         return None
-    hs_len = struct.unpack("!I", b"\x00" + body[1:4])[0]
-    hello = body[4 : 4 + hs_len]
-    if len(hello) < hs_len:
-        return None  # truncated: only part of the hello was seen
-    client_random = hello[2 : 2 + 32]
-    pos = 2 + 32
-    session_len = hello[pos]
-    pos += 1 + session_len
-    cipher_len = struct.unpack("!H", hello[pos : pos + 2])[0]
-    pos += 2 + cipher_len
-    comp_len = hello[pos]
-    pos += 1 + comp_len
-    ext_total = struct.unpack("!H", hello[pos : pos + 2])[0]
-    pos += 2
-    end = pos + ext_total
-    parts = []
-    while pos + 4 <= end:
-        ext_type, ext_len = struct.unpack("!HH", hello[pos : pos + 4])
-        pos += 4
-        parts.append((client_random, ext_type, hello[pos : pos + ext_len]))
-        pos += ext_len
-    return parts
+    header = data[:3]
+    out = []
+    for start in range(0, len(body), chunk_size):
+        chunk = body[start : start + chunk_size]
+        out.append(header + struct.pack("!H", len(chunk)) + chunk)
+    return b"".join(out) + data[5 + record_len :]
+
+
+def resplit_first_record(data: bytes, offset: int) -> Optional[bytes]:
+    """Split the first TLS record at ``offset``, preserving total length.
+
+    Splitting a record normally inserts a second 5-byte record header,
+    which would desynchronize TCP sequence space when applied at the wire
+    boundary (the stream grows mid-flight). This variant keeps the byte
+    count identical by trimming the 5-byte overflow from the tail of the
+    second record's body — truncating the carried handshake message, which
+    lenient clients tolerate but reassembling DPI cannot complete.
+    Returns ``None`` (caller should no-op) when ``data`` does not start
+    with a complete record or the offset leaves no room for the trim.
+    """
+    if len(data) < 5 or offset <= 0:
+        return None
+    record_len = struct.unpack("!H", data[3:5])[0]
+    body = data[5 : 5 + record_len]
+    if len(body) < record_len or offset > record_len - 6:
+        return None
+    header = data[:3]
+    first = header + struct.pack("!H", offset) + body[:offset]
+    second = header + struct.pack("!H", record_len - offset - 5) + body[offset : record_len - 5]
+    return first + second + data[5 + record_len :]
+
+
+# ----------------------------------------------------------------------
+# Incremental scanning (what reassembling censors and the server run).
+
+
+class HandshakeScan(NamedTuple):
+    """Result of scanning a byte stream for one TLS handshake message.
+
+    Attributes:
+        status: ``complete`` / ``needs_more`` / ``invalid``.
+        message: The assembled handshake message (type + 3-byte length +
+            body) when complete, else ``b""``.
+        consumed: Stream bytes consumed by the records scanned so far.
+    """
+
+    status: str
+    message: bytes
+    consumed: int
+
+
+def scan_tls_handshake(data: bytes, expected_type: Optional[int] = None) -> HandshakeScan:
+    """Incrementally assemble one handshake message from a record stream.
+
+    Concatenates the bodies of consecutive handshake records until the
+    first handshake message's declared length is satisfied — the reassembly
+    a ClientHello split across TLS records requires. A non-handshake
+    record before the message completes (or a wrong ``expected_type``)
+    is ``invalid``; running out of bytes mid-record or mid-message is
+    ``needs_more``.
+    """
+    pos = 0
+    body = bytearray()
+    while True:
+        if body:
+            if expected_type is not None and body[0] != expected_type:
+                return HandshakeScan(SCAN_INVALID, b"", pos)
+            if len(body) >= 4:
+                needed = 4 + struct.unpack("!I", b"\x00" + bytes(body[1:4]))[0]
+                if len(body) >= needed:
+                    return HandshakeScan(SCAN_COMPLETE, bytes(body[:needed]), pos)
+        if len(data) - pos < 5:
+            return HandshakeScan(SCAN_NEEDS_MORE, b"", pos)
+        if data[pos] != RECORD_HANDSHAKE:
+            return HandshakeScan(SCAN_INVALID, b"", pos)
+        record_len = struct.unpack("!H", data[pos + 3 : pos + 5])[0]
+        if len(data) - pos - 5 < record_len:
+            return HandshakeScan(SCAN_NEEDS_MORE, b"", pos)
+        body += data[pos + 5 : pos + 5 + record_len]
+        pos += 5 + record_len
+
+
+class ClientHelloScan(NamedTuple):
+    """Result of scanning a byte stream for a ClientHello.
+
+    Attributes:
+        status: ``complete`` / ``needs_more`` / ``invalid``.
+        server_name: Decoded plaintext SNI hostname (``None`` when absent
+            or when the hello is not complete).
+        esni_name: Hostname recovered from the encrypted-SNI extension —
+            only meaningful for the *server*, which shares the masking
+            secret; censors must ignore it.
+        has_esni: Whether an encrypted-SNI extension is present.
+        consumed: Stream bytes consumed by the hello's records.
+    """
+
+    status: str
+    server_name: Optional[str]
+    esni_name: Optional[str]
+    has_esni: bool
+    consumed: int
+
+
+def _invalid_hello(consumed: int) -> ClientHelloScan:
+    return ClientHelloScan(SCAN_INVALID, None, None, False, consumed)
+
+
+def scan_client_hello(data: bytes) -> ClientHelloScan:
+    """Scan ``data`` for a ClientHello, reassembling across records.
+
+    A truncated extension list inside an incomplete message reports
+    ``needs_more`` (the hello's declared length is not yet satisfied);
+    inconsistent internal lengths inside a *complete* message report
+    ``invalid`` — the bytes can never parse, however many follow.
+    """
+    scan = scan_tls_handshake(data, HANDSHAKE_CLIENT_HELLO)
+    if scan.status != SCAN_COMPLETE:
+        return ClientHelloScan(scan.status, None, None, False, scan.consumed)
+    consumed = scan.consumed
+    try:
+        hello = scan.message[4:]
+        if len(hello) < 35:
+            return _invalid_hello(consumed)
+        client_random = hello[2:34]
+        pos = 34
+        pos += 1 + hello[pos]  # session id
+        if pos + 2 > len(hello):
+            return _invalid_hello(consumed)
+        pos += 2 + struct.unpack("!H", hello[pos : pos + 2])[0]  # ciphers
+        if pos + 1 > len(hello):
+            return _invalid_hello(consumed)
+        pos += 1 + hello[pos]  # compression methods
+        if pos + 2 > len(hello):
+            return _invalid_hello(consumed)
+        ext_total = struct.unpack("!H", hello[pos : pos + 2])[0]
+        pos += 2
+        end = pos + ext_total
+        if end > len(hello):
+            return _invalid_hello(consumed)
+        server_name: Optional[str] = None
+        esni_name: Optional[str] = None
+        has_esni = False
+        while pos + 4 <= end:
+            ext_type, ext_len = struct.unpack("!HH", hello[pos : pos + 4])
+            pos += 4
+            if pos + ext_len > end:
+                return _invalid_hello(consumed)
+            ext_body = hello[pos : pos + ext_len]
+            pos += ext_len
+            if ext_type == EXT_SERVER_NAME and server_name is None:
+                if len(ext_body) < 5:
+                    return _invalid_hello(consumed)
+                name_len = struct.unpack("!H", ext_body[3:5])[0]
+                name = ext_body[5 : 5 + name_len]
+                if len(name) < name_len:
+                    return _invalid_hello(consumed)
+                server_name = name.decode("idna") if name else ""
+            elif ext_type == EXT_ENCRYPTED_SNI:
+                has_esni = True
+                if len(ext_body) < 2:
+                    return _invalid_hello(consumed)
+                blob_len = struct.unpack("!H", ext_body[:2])[0]
+                blob = ext_body[2 : 2 + blob_len]
+                if len(blob) < blob_len:
+                    return _invalid_hello(consumed)
+                masked = bytes(b ^ client_random[i % 32] for i, b in enumerate(blob))
+                esni_name = masked.decode("idna") if masked else ""
+        return ClientHelloScan(SCAN_COMPLETE, server_name, esni_name, has_esni, consumed)
+    except (struct.error, IndexError, UnicodeError):
+        return _invalid_hello(consumed)
 
 
 def parse_sni(data: bytes) -> Optional[str]:
     """Extract the plaintext SNI hostname from a (possibly partial) hello.
 
-    This is the parser censors run. Returns ``None`` when the bytes are
-    not a well-formed ClientHello containing a complete SNI extension —
-    which happens both when the hello is split across TCP segments (and
-    the censor cannot reassemble) and when the name rides in the
-    encrypted-SNI extension instead.
+    This is the parser non-reassembling censors run. Returns ``None``
+    unless the bytes contain a complete, well-formed ClientHello with a
+    plaintext SNI extension — which fails both when the hello is split
+    across TCP segments (and the censor cannot reassemble) and when the
+    name rides in the encrypted-SNI extension instead. Reassembling
+    censors use :func:`scan_client_hello` directly so they can tell
+    "feed me more bytes" from "never parseable".
     """
-    try:
-        parts = _client_hello_parts(data)
-        if parts is None:
-            return None
-        for _, ext_type, ext_body in parts:
-            if ext_type != EXT_SERVER_NAME:
-                continue
-            if len(ext_body) < 5:
-                return None
-            name_len = struct.unpack("!H", ext_body[3:5])[0]
-            name = ext_body[5 : 5 + name_len]
-            if len(name) < name_len:
-                return None
-            return name.decode("idna")
+    scan = scan_client_hello(data)
+    if scan.status != SCAN_COMPLETE:
         return None
-    except (struct.error, IndexError, UnicodeError):
-        return None
+    return scan.server_name
 
 
 def parse_esni(data: bytes) -> Optional[str]:
@@ -186,21 +359,7 @@ def parse_esni(data: bytes) -> Optional[str]:
     Only the *server* can do this (it shares the masking secret — here,
     the hello random as a stand-in); censors see opaque bytes.
     """
-    try:
-        parts = _client_hello_parts(data)
-        if parts is None:
-            return None
-        for client_random, ext_type, ext_body in parts:
-            if ext_type != EXT_ENCRYPTED_SNI:
-                continue
-            if len(ext_body) < 2:
-                return None
-            blob_len = struct.unpack("!H", ext_body[:2])[0]
-            blob = ext_body[2 : 2 + blob_len]
-            if len(blob) < blob_len:
-                return None
-            name = bytes(b ^ client_random[i % 32] for i, b in enumerate(blob))
-            return name.decode("idna")
+    scan = scan_client_hello(data)
+    if scan.status != SCAN_COMPLETE:
         return None
-    except (struct.error, IndexError, UnicodeError):
-        return None
+    return scan.esni_name

@@ -24,6 +24,7 @@ __all__ = [
     "PRESETS",
     "matrix_campaign",
     "robustness_campaign",
+    "sni_campaign",
     "table2_campaign",
     "table2_china_campaign",
 ]
@@ -123,10 +124,42 @@ def robustness_campaign(
     )
 
 
+def sni_campaign(trials: int = 30, seed: int = 0, shard_size: int = 30) -> CampaignSpec:
+    """The SNI-era matrix: record-level strategies vs TLS-metadata censors.
+
+    Cell seeds follow :func:`repro.eval.sni_matrix.sni_matrix` exactly
+    (``seed + column_index * 1_000_003``), so each cell's rate equals
+    the direct grid measurement for the same arguments.
+    """
+    from ..eval.sni_matrix import SNI_COLUMNS, SNI_COUNTRIES, esni_workload
+
+    cells: List[CellSpec] = []
+    for country in SNI_COUNTRIES:
+        for index, column in enumerate(SNI_COLUMNS):
+            number = None
+            options = {}
+            if column == "esni":
+                options["workload"] = esni_workload(country)
+            elif column != "baseline":
+                number = int(column)
+            cells.append(
+                CellSpec.build(
+                    country, "https", number, trials=trials,
+                    seed=seed + index * 1_000_003, options=options,
+                    label=f"sni-{column}",
+                )
+            )
+    return CampaignSpec(
+        name="sni", cells=cells, shard_size=shard_size,
+        description="SNI-era matrix: record-level strategies vs SNI censors",
+    )
+
+
 #: CLI-facing preset registry: name -> CampaignSpec factory.
 PRESETS: Dict[str, Callable[..., CampaignSpec]] = {
     "matrix": matrix_campaign,
     "robustness": robustness_campaign,
+    "sni": sni_campaign,
     "table2": table2_campaign,
     "table2-china": table2_china_campaign,
 }

@@ -49,7 +49,9 @@ __all__ = [
 DEFAULT_SHARD_SIZE = 50
 
 #: Countries a cell may name (``None`` means "no censor").
-_KNOWN_COUNTRIES = ("china", "india", "iran", "kazakhstan")
+_KNOWN_COUNTRIES = (
+    "china", "india", "iran", "kazakhstan", "southkorea", "russia",
+)
 #: Protocols the trial runner speaks.
 _KNOWN_PROTOCOLS = ("dns", "ftp", "http", "https", "smtp")
 
@@ -73,8 +75,9 @@ def _strategy_dsl(value: Any) -> Optional[str]:
         from ..core import SERVER_STRATEGIES, deployed_strategy
 
         if value not in SERVER_STRATEGIES:
+            valid = f"{min(SERVER_STRATEGIES)}-{max(SERVER_STRATEGIES)}"
             raise CampaignError(
-                f"unknown paper strategy number {value} (valid: 1-11)"
+                f"unknown strategy number {value} (valid: {valid})"
             )
         return str(deployed_strategy(value))
     if isinstance(value, str):

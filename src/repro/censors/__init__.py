@@ -25,7 +25,17 @@ from .keywords import (
     INDIA_KEYWORDS,
     IRAN_KEYWORDS,
     KAZAKHSTAN_KEYWORDS,
+    RUSSIA_KEYWORDS,
+    SOUTHKOREA_KEYWORDS,
     KeywordSet,
+)
+from .sni import (
+    SNI_REASSEMBLY_BYTES,
+    RUSSIA_TRACKING_WINDOW,
+    SOUTHKOREA_TRACKING_WINDOW,
+    SNICensor,
+    russia_censor,
+    southkorea_censor,
 )
 
 __all__ = [
@@ -46,6 +56,12 @@ __all__ = [
     "MITM_DURATION",
     "PAYLOAD_IGNORE_THRESHOLD",
     "ProtocolBox",
+    "RUSSIA_KEYWORDS",
+    "RUSSIA_TRACKING_WINDOW",
+    "SNICensor",
+    "SNI_REASSEMBLY_BYTES",
+    "SOUTHKOREA_KEYWORDS",
+    "SOUTHKOREA_TRACKING_WINDOW",
     "att_box",
     "build_block_page",
     "client_oriented_key",
@@ -56,6 +72,8 @@ __all__ = [
     "match_http",
     "match_https",
     "match_smtp",
+    "russia_censor",
+    "southkorea_censor",
     "tmobile_box",
     "wifi_box",
 ]

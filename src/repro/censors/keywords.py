@@ -12,7 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet
 
-__all__ = ["KeywordSet", "CHINA_KEYWORDS", "INDIA_KEYWORDS", "IRAN_KEYWORDS", "KAZAKHSTAN_KEYWORDS"]
+__all__ = [
+    "KeywordSet",
+    "CHINA_KEYWORDS",
+    "INDIA_KEYWORDS",
+    "IRAN_KEYWORDS",
+    "KAZAKHSTAN_KEYWORDS",
+    "SOUTHKOREA_KEYWORDS",
+    "RUSSIA_KEYWORDS",
+]
 
 
 @dataclass(frozen=True)
@@ -57,4 +65,13 @@ IRAN_KEYWORDS = KeywordSet(
 
 KAZAKHSTAN_KEYWORDS = KeywordSet(
     http_hosts=frozenset({"blocked.example.kz", "www.blockedsite.com"}),
+)
+
+# SNI-era boxes (post-paper): both filter on TLS metadata only.
+SOUTHKOREA_KEYWORDS = KeywordSet(
+    sni_names=frozenset({"blocked.example.kr", "www.blockedsite.com"}),
+)
+
+RUSSIA_KEYWORDS = KeywordSet(
+    sni_names=frozenset({"blocked.example.ru", "www.blockedsite.com"}),
 )

@@ -9,6 +9,8 @@ Subcommands:
 - ``evolve``     run the genetic algorithm against a censor;
 - ``matrix``     measure the Table 1 censorship matrix;
 - ``robustness`` sweep strategy success against per-link packet loss;
+- ``sni``        measure the SNI-era matrix (record-level server-side
+  strategies vs the TLS-metadata censors; see ``docs/sni.md``);
 - ``profile``    per-phase timing breakdown of a trial batch;
 - ``campaign``   sharded, checkpointed, resumable experiment campaigns
   (``campaign run SPEC --out DIR [--resume] [--shard I/N]``,
@@ -49,7 +51,7 @@ from .eval.waterfall import render_waterfall
 
 __all__ = ["main", "build_parser"]
 
-_COUNTRIES = ["china", "india", "iran", "kazakhstan", "none"]
+_COUNTRIES = ["china", "india", "iran", "kazakhstan", "southkorea", "russia", "none"]
 _PROTOCOLS = ["dns", "ftp", "http", "https", "smtp"]
 
 
@@ -67,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--strategy",
             default=None,
-            help="paper strategy number (1-11) or a full Geneva strategy string",
+            help="library strategy number (1-15) or a full Geneva strategy string",
         )
         p.add_argument("--seed", type=int, default=0, help="deterministic seed")
         p.add_argument(
@@ -163,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="describe what a strategy does on the wire"
     )
     p_explain.add_argument(
-        "strategy", help="paper strategy number (1-11) or a Geneva strategy string"
+        "strategy", help="library strategy number (1-15) or a Geneva strategy string"
     )
     p_explain.add_argument("--seed", type=int, default=0)
 
@@ -212,7 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_profile.add_argument(
         "--strategy", default=None,
-        help="paper strategy number (1-11) or a Geneva strategy string",
+        help="library strategy number (1-15) or a Geneva strategy string",
     )
     p_profile.add_argument("--trials", type=int, default=5)
     p_profile.add_argument("--seed", type=int, default=0)
@@ -243,6 +245,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the curves as deterministic JSON instead of a table",
     )
     add_runtime_flags(p_robust)
+
+    p_sni = sub.add_parser(
+        "sni", help="measure the SNI-era matrix (SNI censors vs strategies 12-15)"
+    )
+    p_sni.add_argument("--trials", type=int, default=30)
+    p_sni.add_argument("--seed", type=int, default=0)
+    p_sni.add_argument(
+        "--countries", nargs="*", default=None,
+        choices=["southkorea", "russia"],
+        help="SNI-censoring countries to measure (default: both)",
+    )
+    p_sni.add_argument(
+        "--json", action="store_true",
+        help="emit the grid as deterministic JSON instead of a table",
+    )
+    add_runtime_flags(p_sni)
 
     p_campaign = sub.add_parser(
         "campaign", help="sharded, checkpointed, resumable experiment campaigns"
@@ -450,7 +468,8 @@ def _resolve_strategy(text: Optional[str]) -> Optional[Strategy]:
     if text.isdigit():
         number = int(text)
         if number not in SERVER_STRATEGIES:
-            raise SystemExit(f"unknown strategy number {number} (valid: 1-11)")
+            valid = f"{min(SERVER_STRATEGIES)}-{max(SERVER_STRATEGIES)}"
+            raise SystemExit(f"unknown strategy number {number} (valid: {valid})")
         return deployed_strategy(number)
     return Strategy.parse(text)
 
@@ -549,7 +568,13 @@ def _fleet(args) -> int:
         wanted = {None if name == "none" else name for name in args.countries}
         mix = tuple(entry for entry in DEFAULT_MIX if entry.country in wanted)
         if not mix:
-            raise SystemExit("fleet: --countries filtered out the entire mix")
+            valid = sorted(
+                (entry.country or "none") for entry in DEFAULT_MIX
+            )
+            raise SystemExit(
+                "fleet: --countries filtered out the entire mix "
+                f"(valid: {', '.join(dict.fromkeys(valid))})"
+            )
     spec = FleetSpec(
         clients=args.clients,
         seed=args.seed,
@@ -639,6 +664,30 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             write_metrics_json(args.metrics_json, result.snapshot)
             print(f"wrote metrics to {args.metrics_json}")
+        return 0
+
+    if args.command == "sni":
+        from .eval.sni_matrix import format_sni_matrix, sni_matrix
+
+        executor = _make_executor(args)
+        cells = sni_matrix(
+            trials=args.trials,
+            seed=args.seed,
+            countries=args.countries,
+            executor=executor,
+        )
+        if args.json:
+            import json
+
+            # Sorted dump => byte-identical output for identical
+            # invocations (the CI smoke job diffs two runs).
+            payload = {}
+            for cell in cells:
+                payload.setdefault(cell.country, {})[cell.column] = cell.measured
+            print(json.dumps(payload, sort_keys=True, indent=2))
+        else:
+            print(format_sni_matrix(cells))
+        _finish_run(args, executor, "sni")
         return 0
 
     if args.command == "robustness":

@@ -11,7 +11,9 @@ from .dsl import (
     DropAction,
     DuplicateAction,
     FragmentAction,
+    RecordSplitAction,
     SendAction,
+    StallAction,
     Strategy,
     TamperAction,
     Trigger,
@@ -22,6 +24,7 @@ from .engine import StrategyEngine, install_strategy
 from .strategies import (
     CLIENT_SIDE_STRATEGIES,
     NO_EVASION,
+    PAPER_STRATEGY_NUMBERS,
     SERVER_STRATEGIES,
     StrategyRecord,
     client_side_strategy,
@@ -42,8 +45,11 @@ __all__ = [
     "DuplicateAction",
     "FragmentAction",
     "NO_EVASION",
+    "PAPER_STRATEGY_NUMBERS",
+    "RecordSplitAction",
     "SERVER_STRATEGIES",
     "SendAction",
+    "StallAction",
     "Strategy",
     "StrategyEngine",
     "StrategyRecord",

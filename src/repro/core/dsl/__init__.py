@@ -5,7 +5,9 @@ from .actions import (
     DropAction,
     DuplicateAction,
     FragmentAction,
+    RecordSplitAction,
     SendAction,
+    StallAction,
     TamperAction,
 )
 from .parser import Strategy, parse_action, parse_strategy
@@ -16,7 +18,9 @@ __all__ = [
     "DropAction",
     "DuplicateAction",
     "FragmentAction",
+    "RecordSplitAction",
     "SendAction",
+    "StallAction",
     "Strategy",
     "TamperAction",
     "Trigger",

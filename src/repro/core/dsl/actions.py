@@ -17,6 +17,16 @@ Tampering any field other than a checksum/length leaves checksum
 computation to serialization time (i.e. checksums are fixed up), matching
 the real tool; tampering ``chksum`` itself plants the literal corrupted
 value — the mechanism behind insertion packets.
+
+Two SNI-era extensions ride alongside the paper's five:
+
+- ``recordsplit{offset}`` — re-chunk the first TLS record of the payload
+  into two records (length-preserving), defeating record-reassembling
+  SNI boxes;
+- ``stall{n}`` — drop the first ``n`` packets the trigger matches
+  (*stateful*), modelling server-initiated connection migration: the
+  handshake only completes once the censor's flow-tracking window has
+  lapsed.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from __future__ import annotations
 import random
 from typing import List
 
+from ...apps.tls import RECORD_HANDSHAKE, resplit_first_record
 from ...packets import Packet
 
 __all__ = [
@@ -33,6 +44,8 @@ __all__ = [
     "DuplicateAction",
     "TamperAction",
     "FragmentAction",
+    "RecordSplitAction",
+    "StallAction",
 ]
 
 
@@ -54,6 +67,15 @@ class Action:
     def copy(self) -> "Action":
         """Deep copy of this subtree."""
         raise NotImplementedError
+
+    def is_stateful(self) -> bool:
+        """Whether applying this subtree mutates it (e.g. ``stall``).
+
+        Stateful strategies must not be shared between engines — the
+        parse cache hands out one instance per DSL string, so engines
+        take a private :meth:`copy` when this is true.
+        """
+        return any(child.is_stateful() for child in self.children())
 
     def __str__(self) -> str:  # pragma: no cover - overridden everywhere
         raise NotImplementedError
@@ -221,3 +243,83 @@ class FragmentAction(Action):
         left = "" if _is_send(self.first) else str(self.first)
         right = "" if _is_send(self.second) else str(self.second)
         return f"{base}({left},{right})"
+
+
+class RecordSplitAction(Action):
+    """Split the payload's first TLS record in two, preserving length.
+
+    Applies :func:`repro.apps.tls.resplit_first_record` to handshake
+    payloads: the first record is re-chunked into two records at
+    ``offset`` body bytes, with the 5-byte overflow trimmed from the
+    second record's tail so the TCP stream length — and therefore every
+    sequence number already in flight — is unchanged. Record-reassembling
+    DPI can no longer complete the handshake message; lenient clients
+    (which only need *a* handshake record plus intact application data)
+    are unaffected. Packets that do not start with a complete handshake
+    record pass through untouched.
+    """
+
+    def __init__(self, offset: int = 2, child: Action = None) -> None:
+        self.offset = offset
+        self.child = child if child is not None else SendAction()
+
+    def apply(self, packet: Packet, rng: random.Random) -> List[Packet]:
+        load = packet.load
+        if load and load[0] == RECORD_HANDSHAKE:
+            split = resplit_first_record(load, self.offset)
+            if split is not None:
+                packet.tcp.load = split
+        return self.child.apply(packet, rng)
+
+    def children(self) -> List[Action]:
+        return [self.child]
+
+    def copy(self) -> "RecordSplitAction":
+        return RecordSplitAction(self.offset, self.child.copy())
+
+    def __str__(self) -> str:
+        base = f"recordsplit{{{self.offset}}}"
+        if _is_send(self.child):
+            return base
+        return f"{base}({self.child},)"
+
+
+class StallAction(Action):
+    """Drop the first ``count`` matching packets, then pass the rest.
+
+    The DSL face of server-initiated connection migration: triggered on
+    the SYN+ACK, the server's first ``count`` handshake responses are
+    suppressed, so the connection only comes up on a later retransmission
+    (0.4 s/0.8 s/1.6 s/... RTO backoff) — after the censor's per-flow
+    tracking window, anchored at the client's first SYN, has lapsed.
+
+    Stateful: the drop counter advances across :meth:`apply` calls.
+    :meth:`copy` resets it, and engines copy stateful strategies at
+    install time, so each trial/flow stalls independently.
+    """
+
+    def __init__(self, count: int = 1, child: Action = None) -> None:
+        self.count = count
+        self.child = child if child is not None else SendAction()
+        self.dropped = 0
+
+    def apply(self, packet: Packet, rng: random.Random) -> List[Packet]:
+        if self.dropped < self.count:
+            self.dropped += 1
+            return []
+        return self.child.apply(packet, rng)
+
+    def children(self) -> List[Action]:
+        return [self.child]
+
+    def copy(self) -> "StallAction":
+        return StallAction(self.count, self.child.copy())
+
+    def is_stateful(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        base = f"stall{{{self.count}}}"
+        if _is_send(self.child):
+            return base
+        return f"{base}({self.child},)"

@@ -20,7 +20,9 @@ from .actions import (
     DropAction,
     DuplicateAction,
     FragmentAction,
+    RecordSplitAction,
     SendAction,
+    StallAction,
     TamperAction,
 )
 from .triggers import Trigger
@@ -71,11 +73,22 @@ class Strategy:
         return sum(action.tree_size() for _, action in self.outbound + self.inbound)
 
     def copy(self) -> "Strategy":
-        """Deep copy."""
+        """Deep copy (stateful actions come back with fresh state)."""
         return Strategy(
             [(trigger, action.copy()) for trigger, action in self.outbound],
             [(trigger, action.copy()) for trigger, action in self.inbound],
             name=self.name,
+        )
+
+    def is_stateful(self) -> bool:
+        """Whether applying the strategy mutates it (any stateful action).
+
+        Stateful strategies must be private to one engine: the runtime's
+        parse cache shares instances across trials, so engines copy them
+        at install time when this is true.
+        """
+        return any(
+            action.is_stateful() for _, action in self.outbound + self.inbound
         )
 
     def is_noop(self) -> bool:
@@ -236,6 +249,18 @@ def _build_action(
         return FragmentAction(
             protocol, int(offset), in_order.strip().lower() == "true", first, second
         )
+    if name == "recordsplit":
+        if second is not None:
+            raise ValueError("recordsplit takes a single child")
+        if not args:
+            raise ValueError("recordsplit requires an offset argument")
+        return RecordSplitAction(int(args), first)
+    if name == "stall":
+        if second is not None:
+            raise ValueError("stall takes a single child")
+        if not args:
+            raise ValueError("stall requires a count argument")
+        return StallAction(int(args), first)
     raise ValueError(f"unknown action {name!r}")
 
 

@@ -40,7 +40,10 @@ class StrategyEngine:
     """
 
     def __init__(self, strategy: Strategy, rng: Optional[random.Random] = None) -> None:
-        self.strategy = strategy
+        # Stateful strategies (e.g. ``stall``) mutate as they apply; take
+        # a private copy so instances shared by the runtime's parse cache
+        # are never written to, and every trial starts from fresh state.
+        self.strategy = strategy.copy() if strategy.is_stateful() else strategy
         self.rng = rng if rng is not None else random.Random(0)
         self.packets_intercepted = 0
 

@@ -28,6 +28,7 @@ from .dsl import Strategy
 
 __all__ = [
     "StrategyRecord",
+    "PAPER_STRATEGY_NUMBERS",
     "SERVER_STRATEGIES",
     "strategy",
     "deployed_strategy",
@@ -206,11 +207,43 @@ SERVER_STRATEGIES: Dict[int, StrategyRecord] = {
         dsl="[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/",
         countries=("kazakhstan",),
     ),
+    # ------------------------------------------------------------------
+    # SNI-era additions (12-15): server-side answers to TLS-metadata
+    # censors. Not from the paper's Table 2 — they target the southkorea/
+    # russia SNI boxes and are evaluated by eval/sni_matrix.py.
+    12: StrategyRecord(
+        number=12,
+        name="ServerHello Record Split",
+        dsl="[TCP:flags:PA]-recordsplit{2}-| \\/",
+        countries=("southkorea",),
+    ),
+    13: StrategyRecord(
+        number=13,
+        name="ServerHello Segmentation",
+        dsl="[TCP:flags:PA]-fragment{tcp:3:True}-| \\/",
+        countries=("southkorea",),
+    ),
+    14: StrategyRecord(
+        number=14,
+        name="Connection Migration (shallow)",
+        dsl="[TCP:flags:SA]-stall{2}-| \\/",
+        countries=("southkorea",),
+    ),
+    15: StrategyRecord(
+        number=15,
+        name="Connection Migration (deep)",
+        dsl="[TCP:flags:SA]-stall{3}-| \\/",
+        countries=("southkorea", "russia"),
+    ),
 }
+
+#: Strategy numbers printed in the paper's Table 2 (the SNI-era additions
+#: above are evaluated by the SNI matrix, not the paper tables).
+PAPER_STRATEGY_NUMBERS = tuple(range(1, 12))
 
 
 def strategy(number: int) -> Strategy:
-    """Strategy ``number`` (1–11) as printed in the paper."""
+    """Strategy ``number`` (1-11 paper, 12-15 SNI-era) as printed."""
     return SERVER_STRATEGIES[number].strategy()
 
 

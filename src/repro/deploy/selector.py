@@ -37,6 +37,9 @@ RECOMMENDED_STRATEGIES: Dict[Tuple[str, str], int] = {
     ("iran", "http"): 8,     # 100%
     ("iran", "https"): 8,    # 100%
     ("kazakhstan", "http"): 11,  # 100%, no payload quirks
+    # SNI-era boxes (eval/sni_matrix.py grid, not Table 2):
+    ("southkorea", "https"): 12,  # record split beats the confirm step
+    ("russia", "https"): 15,      # only deep migration outlasts TSPU
 }
 
 

@@ -12,7 +12,9 @@ Experiment drivers (each regenerates one paper artifact):
 - :mod:`repro.eval.dns_retries` — §4 (RFC 7766 retry amplification);
 - :mod:`repro.eval.followups` — §5 (instrumented causal probes);
 - :mod:`repro.eval.residual` — §4.2 (residual censorship);
-- :mod:`repro.eval.client_compat` — §7 (OS and network compatibility).
+- :mod:`repro.eval.client_compat` — §7 (OS and network compatibility);
+- :mod:`repro.eval.sni_matrix` — the post-paper SNI-era grid
+  (TLS-metadata censors vs record-level server-side strategies).
 """
 
 from .runner import (

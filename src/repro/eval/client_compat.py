@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..censors.carrier import att_box, tmobile_box, wifi_box
-from ..core import SERVER_STRATEGIES, compat_strategy, deployed_strategy
+from ..core import (
+    PAPER_STRATEGY_NUMBERS,
+    SERVER_STRATEGIES,
+    compat_strategy,
+    deployed_strategy,
+)
 from ..tcpstack import PERSONALITIES, all_personality_names
 from .runner import run_trial
 
@@ -40,7 +45,9 @@ EXPECTED_OS_FAILURES = {
     (10, "macos"),
 }
 
-ALL_STRATEGY_NUMBERS = tuple(SERVER_STRATEGIES)
+# The §7 compatibility study covers the paper's Table 2 strategies only;
+# the SNI-era additions (12+) are evaluated by eval/sni_matrix.py.
+ALL_STRATEGY_NUMBERS = PAPER_STRATEGY_NUMBERS
 
 
 @dataclass

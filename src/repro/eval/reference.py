@@ -68,6 +68,16 @@ TABLE1_MATRIX: Dict[str, Dict[str, tuple]] = {
         "vantage_points": ("Qaraghandy", "Almaty"),
         "protocols": ("http",),
     },
+    # Post-paper SNI-era boxes (repro.censors.sni) — not in the paper's
+    # Table 1, but measured by the same matrix driver.
+    "southkorea": {
+        "vantage_points": ("Seoul",),
+        "protocols": ("https",),
+    },
+    "russia": {
+        "vantage_points": ("Moscow",),
+        "protocols": ("https",),
+    },
 }
 
 

@@ -114,6 +114,14 @@ def _section7() -> str:
     return "\n".join(lines)
 
 
+def _sni(trials: int, executor=None) -> str:
+    from .sni_matrix import format_sni_matrix, sni_matrix
+
+    return format_sni_matrix(
+        sni_matrix(trials=max(10, trials // 5), seed=0, executor=executor)
+    )
+
+
 def _sweeps(trials: int) -> str:
     from .sweeps import (
         format_sweep,
@@ -152,6 +160,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "section3": lambda trials, executor=None, **_: _section3(trials),
     "section4": lambda trials, executor=None, **_: _section4(trials),
     "section7": lambda trials, executor=None, **_: _section7(),
+    "sni": lambda trials, executor=None, **_: _sni(trials, executor=executor),
     "sweeps": lambda trials, executor=None, **_: _sweeps(trials),
     "robustness": lambda trials, executor=None, impairment=None, net_seed=None: (
         _robustness(trials, executor=executor, net_seed=net_seed)

@@ -36,6 +36,8 @@ from ..censors import (
     GreatFirewall,
     IranCensor,
     KazakhstanCensor,
+    russia_censor,
+    southkorea_censor,
 )
 from ..core import Strategy, install_strategy
 from ..netsim import Impairment, Middlebox, Network, NullTrace, Scheduler, Trace
@@ -67,12 +69,15 @@ SERVER_IP_V6 = "2001:db8:ffff::10"
 DEFAULT_CENSOR_HOP = 3
 DEFAULT_SERVER_HOP = 10
 
-#: Protocols each country censors (Table 1 / §4.2).
+#: Protocols each country censors (Table 1 / §4.2, plus the SNI-era
+#: boxes modelled after the paper: South Korea's SNIC and Russia's TSPU).
 COUNTRY_PROTOCOLS: Dict[str, List[str]] = {
     "china": ["dns", "ftp", "http", "https", "smtp"],
     "india": ["http"],
     "iran": ["http", "https"],
     "kazakhstan": ["http"],
+    "southkorea": ["https"],
+    "russia": ["https"],
 }
 
 _CLIENT_CLASSES = {
@@ -104,6 +109,8 @@ _CENSORED_WORKLOADS: Dict[tuple, dict] = {
     ("iran", "http"): {"path": "/", "host_header": "youtube.com"},
     ("iran", "https"): {"server_name": "youtube.com"},
     ("kazakhstan", "http"): {"path": "/", "host_header": "blocked.example.kz"},
+    ("southkorea", "https"): {"server_name": "blocked.example.kr"},
+    ("russia", "https"): {"server_name": "blocked.example.ru"},
 }
 
 _BENIGN_WORKLOADS: Dict[str, dict] = {
@@ -142,6 +149,10 @@ def make_censor(country: Optional[str], rng: random.Random) -> Optional[Censor]:
         return IranCensor()
     if country == "kazakhstan":
         return KazakhstanCensor()
+    if country == "southkorea":
+        return southkorea_censor()
+    if country == "russia":
+        return russia_censor()
     raise ValueError(f"unknown country {country!r}")
 
 

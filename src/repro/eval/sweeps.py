@@ -200,6 +200,8 @@ ROBUSTNESS_CASES: Dict[str, tuple] = {
     "india": ("http", 8),
     "iran": ("https", 8),
     "kazakhstan": ("http", 11),
+    "southkorea": ("https", 12),
+    "russia": ("https", 15),
 }
 
 #: Per-link loss probabilities swept by default. The simulated path has

@@ -48,6 +48,8 @@ COUNTRY_PREFIXES: Dict[Optional[str], str] = {
     "kazakhstan": "10.2",
     "india": "10.3",
     "iran": "10.4",
+    "southkorea": "10.5",
+    "russia": "10.6",
     None: "172.16",
 }
 
@@ -109,6 +111,8 @@ DEFAULT_MIX: Tuple[FleetMixEntry, ...] = (
     FleetMixEntry("iran", "http", "windows-7-ultimate-sp1", 2.0),
     FleetMixEntry("iran", "https", "macos-10.15", 2.0),
     FleetMixEntry("kazakhstan", "http", "windows-8.1-pro", 2.0),
+    FleetMixEntry("southkorea", "https", "ios-13.3", 2.0),
+    FleetMixEntry("russia", "https", "windows-10-enterprise-17134", 2.0),
     FleetMixEntry(None, "http", "ubuntu-18.04.1", 2.0),
 )
 

@@ -1,0 +1,23 @@
+"""Protocol-layer strategy toolkits.
+
+:mod:`repro.core.strategies` holds the paper's numbered Table 2 library;
+this package holds *toolkits* that build strategies for specific
+protocol layers. Currently: :mod:`repro.strategies.tlsrecord`, the
+record-level and connection-migration answers to SNI-era censors.
+"""
+
+from .tlsrecord import (
+    SNI_STRATEGY_NUMBERS,
+    install_migration,
+    migration_strategy,
+    record_split_strategy,
+    segmentation_strategy,
+)
+
+__all__ = [
+    "SNI_STRATEGY_NUMBERS",
+    "install_migration",
+    "migration_strategy",
+    "record_split_strategy",
+    "segmentation_strategy",
+]

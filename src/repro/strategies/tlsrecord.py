@@ -1,0 +1,118 @@
+"""Record-level TLS serving strategies against SNI-filtering censors.
+
+SNI-era boxes (:mod:`repro.censors.sni`) defeat the paper's client-side
+segmentation trick by reassembling the ClientHello, so the server-side
+answers move down a layer. Three families, all still requiring zero
+client modification:
+
+- **Record splitting** (:func:`record_split_strategy`, library #12): the
+  ServerHello is re-encoded as two TLS records at an attacker-chosen
+  offset. Total byte count is unchanged — no TCP-level desync — but a
+  censor that one-shot-parses the server's first flight for a complete
+  ServerHello (South Korea's confirmation step) sees a truncated
+  handshake message and stands down.
+- **Handshake segmentation** (:func:`segmentation_strategy`, #13): the
+  ServerHello record is intact but carried across two TCP segments, so
+  no single server packet contains a parseable handshake.
+- **Connection migration** (:func:`migration_strategy`, #14/#15, and the
+  genuine stack-level :func:`install_migration`): the server withholds
+  its SYN+ACK until the censor's per-flow tracking window — anchored at
+  the client's first SYN — has lapsed, then completes the handshake
+  unobserved. The DSL form drops early SYN+ACK transmissions and rides
+  the retransmission backoff; the stack hook re-binds the passive open
+  and answers after an exact virtual delay.
+
+ECH/ESNI-tolerant serving needs no strategy at all: the server's
+``parse_esni`` hook already recovers the name from an
+``encrypted_sni`` ClientHello, so an ESNI workload sails past any box
+that only reads plaintext SNI (and is exactly what strict boxes like
+Russia's drop on sight).
+"""
+
+from __future__ import annotations
+
+from ..core import SERVER_STRATEGIES, Strategy
+from ..tcpstack import Host
+
+__all__ = [
+    "SNI_STRATEGY_NUMBERS",
+    "install_migration",
+    "migration_strategy",
+    "record_split_strategy",
+    "segmentation_strategy",
+]
+
+#: The library numbers of the SNI-era additions (Table-2 numbering
+#: continues past the paper's 11).
+SNI_STRATEGY_NUMBERS = (12, 13, 14, 15)
+
+
+def record_split_strategy(offset: int = 2) -> Strategy:
+    """Split the first TLS record of server payload packets at ``offset``.
+
+    ``offset=2`` (the library's #12) leaves a 2-byte first record —
+    enough to be a syntactically valid record, never enough to complete
+    the ServerHello's declared handshake length.
+    """
+    if offset < 1:
+        raise ValueError("record split offset must be >= 1")
+    return Strategy.parse(
+        f"[TCP:flags:PA]-recordsplit{{{offset}}}-| \\/",
+        name=f"tls-record-split-{offset}",
+    )
+
+
+def segmentation_strategy(offset: int = 3) -> Strategy:
+    """Carry server handshake bytes across two TCP segments at ``offset``.
+
+    ``offset=3`` (the library's #13) cuts inside the 5-byte TLS record
+    header, so neither segment alone contains a parseable record.
+    """
+    if offset < 1:
+        raise ValueError("segmentation offset must be >= 1")
+    return Strategy.parse(
+        f"[TCP:flags:PA]-fragment{{tcp:{offset}:True}}-| \\/",
+        name=f"tls-segmentation-{offset}",
+    )
+
+
+def migration_strategy(stalls: int = 2) -> Strategy:
+    """Withhold the first ``stalls`` SYN+ACK transmissions (DSL form).
+
+    Rides the SYN+ACK retransmission backoff (0.4 s base RTO): two
+    stalls put the first on-wire SYN+ACK at ~1.2 virtual seconds (past
+    South Korea's 1 s tracking window, the library's #14); three put it
+    at ~2.8 s (past Russia's 2 s window as well, #15).
+    """
+    if stalls < 1:
+        raise ValueError("migration needs at least one stalled SYN+ACK")
+    return Strategy.parse(
+        f"[TCP:flags:SA]-stall{{{stalls}}}-| \\/",
+        name=f"tls-migration-{stalls}",
+    )
+
+
+def install_migration(host: Host, delay: float) -> None:
+    """Genuine stack-level migration: re-bind passive opens on ``host``.
+
+    Every accepted connection goes dark for ``delay`` virtual seconds
+    before the (re-bound) socket emits its SYN+ACK — the exact-delay
+    equivalent of :func:`migration_strategy`, with no Geneva engine
+    involved. Client SYN retransmissions during the dark period get no
+    reply, matching a socket that no longer exists.
+    """
+    if delay <= 0:
+        raise ValueError("migration delay must be positive")
+
+    def hook(endpoint) -> None:
+        endpoint.accept_delay = delay
+
+    host.accept_hooks.append(hook)
+
+
+def _check_library_alignment() -> None:
+    """The toolkit's defaults must print exactly the library's DSL."""
+    assert str(record_split_strategy(2)) == SERVER_STRATEGIES[12].dsl.strip()
+    assert str(segmentation_strategy(3)) == SERVER_STRATEGIES[13].dsl.strip()
+    assert str(migration_strategy(2)) == SERVER_STRATEGIES[14].dsl.strip()
+    assert str(migration_strategy(3)) == SERVER_STRATEGIES[15].dsl.strip()

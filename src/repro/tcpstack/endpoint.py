@@ -114,6 +114,15 @@ class TCPEndpoint:
         self._retx_timer = None
         self._retx_count = 0
 
+        # Server-initiated connection migration (SNI-era evasion): when a
+        # passive open sets this, the endpoint accepts the SYN silently
+        # and withholds its SYN+ACK for this many virtual seconds — as if
+        # the listener had re-bound the flow to a fresh socket and only
+        # then answered. A censor whose per-flow tracking window anchors
+        # at the first SYN gives up before the handshake ever completes.
+        self.accept_delay = 0.0
+        self._migrating = False
+
         # Application callbacks.
         self.on_established: Optional[Callable[[], None]] = None
         self.on_data: Optional[Callable[[bytes], None]] = None
@@ -153,6 +162,21 @@ class TCPEndpoint:
         self.snd_nxt = (self.iss + 1) % _MOD
         self._stream_base = self.snd_nxt
         self.state = states.SYN_RCVD
+        if self.accept_delay > 0:
+            # Connection migration: go dark until the re-bound socket
+            # answers. Client SYN retransmissions in the interim get no
+            # reply either (see _handle_syn_rcvd).
+            self._migrating = True
+            self.host.scheduler.schedule(self.accept_delay, self._finish_migration)
+            return
+        self._send_synack()
+        self._arm_retransmit()
+
+    def _finish_migration(self) -> None:
+        """The migrated socket comes online: emit the withheld SYN+ACK."""
+        if self.state != states.SYN_RCVD:
+            return
+        self._migrating = False
         self._send_synack()
         self._arm_retransmit()
 
@@ -270,7 +294,8 @@ class TCPEndpoint:
         if tcp.is_syn and not tcp.is_ack:
             # Duplicate of the SYN we already answered (or a payload-bearing
             # copy, as in Strategy 2): acknowledge the current sequence.
-            if seq_delta(tcp.seq, self.irs) == 0:
+            # A migrating endpoint stays dark — the old socket is gone.
+            if seq_delta(tcp.seq, self.irs) == 0 and not self._migrating:
                 self._send_ack()
             return
 

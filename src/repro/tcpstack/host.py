@@ -38,6 +38,10 @@ class Host:
             strategies live here on the server).
         inbound_filters: Filters applied to every wire packet after
             checksum validation and before TCP processing.
+        accept_hooks: Hooks invoked with each passive-open endpoint
+            before the listener sees it (and before the SYN+ACK is
+            sent) — where server-side connection migration sets
+            :attr:`TCPEndpoint.accept_delay`.
         flow_rng_provider: Optional hook mapping a passive-open demux key
             ``(remote_ip, remote_port, local_port)`` to the RNG the new
             endpoint should draw from (``None`` → the host RNG, the
@@ -67,6 +71,7 @@ class Host:
         self.network: Optional[Network] = None
         self.outbound_filters: List[PacketFilter] = []
         self.inbound_filters: List[PacketFilter] = []
+        self.accept_hooks: List[Callable[[TCPEndpoint], None]] = []
         self._endpoints: Dict[Tuple[str, int, int], TCPEndpoint] = {}
         self._listeners: Dict[int, Callable[[TCPEndpoint], None]] = {}
         self._udp_binds: Dict[int, Callable[[Packet], None]] = {}
@@ -216,6 +221,8 @@ class Host:
                 rng=rng,
             )
             self._endpoints[key] = endpoint
+            for hook in self.accept_hooks:
+                hook(endpoint)
             listener(endpoint)
             endpoint.accept_syn(packet)
         # Segments for unknown flows are silently ignored (no RST replies;

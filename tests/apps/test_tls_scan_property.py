@@ -1,0 +1,111 @@
+"""Property tests: incremental ClientHello scanning is prefix-stable.
+
+The SNI censors' whole reassembly contract rests on three invariants of
+:func:`repro.apps.tls.scan_client_hello`:
+
+1. **Round trip** — a hello built for any hostname scans ``complete``
+   and yields that hostname back (plaintext SNI) or hides it (ESNI).
+2. **Truncation monotonicity** — every *strict prefix* of a well-formed
+   hello reports ``needs_more``, never ``invalid`` and never a bogus
+   ``complete``: a censor that buffers byte-at-a-time must not give up
+   (or fire) early.
+3. **Record splitting is transparent** — re-encoding the hello as many
+   smaller records changes the bytes but not the scan verdict or the
+   recovered name.
+
+``derandomize=True`` keeps the example set fixed so the suite stays
+deterministic (same policy as the tcpstack property tests).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.tls import (
+    SCAN_COMPLETE,
+    SCAN_NEEDS_MORE,
+    build_client_hello,
+    parse_esni,
+    parse_sni,
+    scan_client_hello,
+    split_handshake_records,
+)
+
+PROPERTY_SETTINGS = settings(max_examples=40, deadline=None, derandomize=True)
+
+_LABEL = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: not s.startswith("-") and not s.endswith("-"))
+
+HOSTNAMES = st.lists(_LABEL, min_size=1, max_size=4).map(".".join)
+
+
+class TestRoundTrip:
+    @given(name=HOSTNAMES)
+    @PROPERTY_SETTINGS
+    def test_plaintext_sni_round_trips(self, name):
+        hello = build_client_hello(name)
+        scan = scan_client_hello(hello)
+        assert scan.status == SCAN_COMPLETE
+        assert scan.server_name == name
+        assert scan.consumed == len(hello)
+        assert not scan.has_esni
+        assert parse_sni(hello) == name
+
+    @given(name=HOSTNAMES)
+    @PROPERTY_SETTINGS
+    def test_esni_hides_name_from_sni_parsers(self, name):
+        hello = build_client_hello(name, encrypted_sni=True)
+        scan = scan_client_hello(hello)
+        assert scan.status == SCAN_COMPLETE
+        assert scan.has_esni
+        assert scan.server_name is None
+        assert parse_sni(hello) is None
+        # Only the server (sharing the masking secret) recovers it.
+        assert parse_esni(hello) == name
+
+
+class TestTruncation:
+    @given(name=HOSTNAMES, data=st.data())
+    @PROPERTY_SETTINGS
+    def test_every_strict_prefix_needs_more(self, name, data):
+        hello = build_client_hello(name)
+        cut = data.draw(st.integers(min_value=0, max_value=len(hello) - 1))
+        scan = scan_client_hello(hello[:cut])
+        assert scan.status == SCAN_NEEDS_MORE, f"prefix of {cut} bytes"
+        assert scan.server_name is None
+
+    @given(name=HOSTNAMES, data=st.data())
+    @PROPERTY_SETTINGS
+    def test_prefix_never_parses_a_name(self, name, data):
+        hello = build_client_hello(name)
+        cut = data.draw(st.integers(min_value=0, max_value=len(hello) - 1))
+        assert parse_sni(hello[:cut]) is None
+
+
+class TestRecordSplitting:
+    @given(name=HOSTNAMES, chunk=st.integers(min_value=1, max_value=64))
+    @PROPERTY_SETTINGS
+    def test_split_records_scan_identically(self, name, chunk):
+        hello = build_client_hello(name)
+        split = split_handshake_records(hello, chunk)
+        assert split is not None
+        scan = scan_client_hello(split)
+        assert scan.status == SCAN_COMPLETE
+        assert scan.server_name == name
+        assert scan.consumed == len(split)
+
+    @given(name=HOSTNAMES, chunk=st.integers(min_value=1, max_value=64))
+    @PROPERTY_SETTINGS
+    def test_split_prefixes_still_need_more(self, name, chunk):
+        """Splitting must not create a prefix that scans invalid — the
+        lenient censors' pass-through depends on strictly distinguishing
+        "incomplete" from "malformed"."""
+        split = split_handshake_records(build_client_hello(name), chunk)
+        # Cut inside the second record (if any): worst case for naive
+        # parsers, which see a dangling record header.
+        first_len = 5 + int.from_bytes(split[3:5], "big")
+        if first_len < len(split):
+            scan = scan_client_hello(split[: first_len + 2])
+            assert scan.status == SCAN_NEEDS_MORE

@@ -17,7 +17,9 @@ from repro.eval.table2 import CHINA_STRATEGY_NUMBERS
 
 class TestRegistry:
     def test_all_presets_registered(self):
-        assert sorted(PRESETS) == ["matrix", "robustness", "table2", "table2-china"]
+        assert sorted(PRESETS) == [
+            "matrix", "robustness", "sni", "table2", "table2-china",
+        ]
 
     def test_every_preset_expands(self):
         for name, factory in PRESETS.items():

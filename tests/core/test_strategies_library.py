@@ -7,6 +7,7 @@ import pytest
 from repro.core import (
     CLIENT_SIDE_STRATEGIES,
     NO_EVASION,
+    PAPER_STRATEGY_NUMBERS,
     SERVER_STRATEGIES,
     client_side_strategy,
     compat_strategy,
@@ -26,8 +27,9 @@ def synack():
 
 
 class TestLibrary:
-    def test_eleven_strategies(self):
-        assert sorted(SERVER_STRATEGIES) == list(range(1, 12))
+    def test_library_numbering(self):
+        assert sorted(SERVER_STRATEGIES) == list(range(1, 16))
+        assert PAPER_STRATEGY_NUMBERS == tuple(range(1, 12))
 
     def test_no_evasion_is_noop(self):
         assert NO_EVASION.is_noop()

@@ -1,0 +1,136 @@
+"""The record-level DSL primitives (recordsplit / stall) and their toolkit.
+
+Covers the SNI-era additions to the strategy DSL: parse/print round
+trips, the stateful-copy contract the engine relies on, the packet-level
+transforms, and the :mod:`repro.strategies.tlsrecord` convenience layer's
+alignment with library strategies 12-15.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.tls import (
+    SCAN_COMPLETE,
+    SCAN_NEEDS_MORE,
+    build_server_hello,
+    scan_tls_handshake,
+)
+from repro.core import SERVER_STRATEGIES, Strategy, deployed_strategy
+from repro.core.dsl import RecordSplitAction, StallAction
+from repro.packets import make_tcp_packet
+from repro.strategies import (
+    SNI_STRATEGY_NUMBERS,
+    install_migration,
+    migration_strategy,
+    record_split_strategy,
+    segmentation_strategy,
+)
+
+RNG = random.Random(0)
+
+
+def payload_packet(load, flags="PA"):
+    return make_tcp_packet(
+        "192.0.2.10", "10.0.0.2", 443, 40000, flags=flags, seq=1, ack=1, load=load
+    )
+
+
+class TestDslRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "[TCP:flags:PA]-recordsplit{2}-| \\/",
+        "[TCP:flags:PA]-recordsplit{7}-| \\/",
+        "[TCP:flags:SA]-stall{2}-| \\/",
+        "[TCP:flags:SA]-stall{3}-| \\/",
+    ])
+    def test_parse_print_round_trip(self, text):
+        assert str(Strategy.parse(text)) == text
+
+    def test_library_numbers_parse(self):
+        for number in SNI_STRATEGY_NUMBERS:
+            strategy = deployed_strategy(number)
+            assert str(strategy) == SERVER_STRATEGIES[number].dsl.strip()
+
+    def test_statefulness_flags(self):
+        split = Strategy.parse("[TCP:flags:PA]-recordsplit{2}-| \\/")
+        stall = Strategy.parse("[TCP:flags:SA]-stall{3}-| \\/")
+        assert not split.is_stateful()
+        assert stall.is_stateful()
+
+
+class TestStallAction:
+    def test_drops_first_n_then_passes(self):
+        action = StallAction(2)
+        p = payload_packet(b"", flags="SA")
+        assert action.apply(p, RNG) == []
+        assert action.apply(p, RNG) == []
+        assert action.apply(p, RNG) != []
+
+    def test_copy_resets_counter(self):
+        action = StallAction(1)
+        action.apply(payload_packet(b"", flags="SA"), RNG)
+        fresh = action.copy()
+        assert fresh.dropped == 0
+        assert fresh.apply(payload_packet(b"", flags="SA"), RNG) == []
+
+    def test_engine_installs_a_private_copy(self):
+        """Stateful strategies are copied at install time, so two engines
+        sharing one Strategy object stall independently."""
+        from repro.core.engine import StrategyEngine
+
+        shared = Strategy.parse("[TCP:flags:SA]-stall{1}-| \\/")
+        a = StrategyEngine(shared, random.Random(1))
+        b = StrategyEngine(shared, random.Random(1))
+        assert a.strategy is not shared
+        assert a.strategy is not b.strategy
+
+    def test_stateless_strategy_not_copied(self):
+        from repro.core.engine import StrategyEngine
+
+        shared = Strategy.parse("[TCP:flags:PA]-recordsplit{2}-| \\/")
+        assert StrategyEngine(shared, random.Random(1)).strategy is shared
+
+
+class TestRecordSplitAction:
+    def test_splits_handshake_preserving_length(self):
+        hello = build_server_hello("example.org")
+        packet = payload_packet(hello)
+        out = RecordSplitAction(2).apply(packet, RNG)
+        assert len(out) == 1
+        assert out[0].load != hello
+        assert len(out[0].load) == len(hello)  # no TCP-level desync
+        # One-shot parsers can no longer complete the ServerHello...
+        assert scan_tls_handshake(out[0].load).status == SCAN_NEEDS_MORE
+        # ...but the original parsed fine.
+        assert scan_tls_handshake(hello).status == SCAN_COMPLETE
+
+    def test_non_handshake_payload_untouched(self):
+        packet = payload_packet(b"HTTP/1.1 200 OK\r\n\r\n")
+        out = RecordSplitAction(2).apply(packet, RNG)
+        assert out[0].load == b"HTTP/1.1 200 OK\r\n\r\n"
+
+
+class TestToolkit:
+    def test_defaults_align_with_library(self):
+        assert str(record_split_strategy()) == SERVER_STRATEGIES[12].dsl.strip()
+        assert str(segmentation_strategy()) == SERVER_STRATEGIES[13].dsl.strip()
+        assert str(migration_strategy(2)) == SERVER_STRATEGIES[14].dsl.strip()
+        assert str(migration_strategy(3)) == SERVER_STRATEGIES[15].dsl.strip()
+
+    @pytest.mark.parametrize("factory,bad", [
+        (record_split_strategy, 0),
+        (segmentation_strategy, -1),
+        (migration_strategy, 0),
+    ])
+    def test_argument_validation(self, factory, bad):
+        with pytest.raises(ValueError):
+            factory(bad)
+
+    def test_install_migration_rejects_zero_delay(self):
+        from repro.netsim import Scheduler
+        from repro.tcpstack import Host
+
+        host = Host("srv", "10.0.0.1", Scheduler(), random.Random(0))
+        with pytest.raises(ValueError):
+            install_migration(host, 0.0)
+        assert not host.accept_hooks

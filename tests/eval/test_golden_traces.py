@@ -33,6 +33,14 @@ CASES = [
     ("kazakhstan_http_strategy11", "kazakhstan", "http", 11, 1),
 ]
 
+#: The SNI-era boxes are pinned at *baseline* (no strategy): the golden
+#: is the censorship itself — reassembly, verdict, RST injection — so a
+#: censor regression that weakens blocking trips the trace diff.
+BASELINE_CASES = [
+    ("southkorea_https_baseline", "southkorea", "https", None, 1),
+    ("russia_https_baseline", "russia", "https", None, 1),
+]
+
 
 def summarize(result) -> dict:
     """Deterministic, JSON-able summary of a trial's wire behaviour."""
@@ -80,10 +88,11 @@ def summarize(result) -> dict:
 
 
 def run_case(country, protocol, number, seed):
-    return run_trial(country, protocol, deployed_strategy(number), seed=seed)
+    strategy = deployed_strategy(number) if number is not None else None
+    return run_trial(country, protocol, strategy, seed=seed)
 
 
-@pytest.mark.parametrize("name,country,protocol,number,seed", CASES)
+@pytest.mark.parametrize("name,country,protocol,number,seed", CASES + BASELINE_CASES)
 def test_golden_trace(name, country, protocol, number, seed):
     summary = summarize(run_case(country, protocol, number, seed))
     path = GOLDEN_DIR / f"{name}.json"
@@ -104,8 +113,20 @@ def test_golden_cases_still_evade(name, country, protocol, number, seed):
     assert run_case(country, protocol, number, seed).succeeded
 
 
+@pytest.mark.parametrize("name,country,protocol,number,seed", BASELINE_CASES)
+def test_golden_baselines_are_censored(name, country, protocol, number, seed):
+    """The pinned SNI baselines are *blocked* connections — a golden
+    whose censorship disappears is a censor regression even if the
+    trace matches."""
+    result = run_case(country, protocol, number, seed)
+    assert result.censored
+    assert not result.succeeded
+
+
 def test_goldens_are_committed():
     missing = [
-        name for name, *_ in CASES if not (GOLDEN_DIR / f"{name}.json").exists()
+        name
+        for name, *_ in CASES + BASELINE_CASES
+        if not (GOLDEN_DIR / f"{name}.json").exists()
     ]
     assert not missing, f"golden files missing: {missing}"

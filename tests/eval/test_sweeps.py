@@ -78,7 +78,9 @@ class TestImpairmentRobustnessSweep:
         curves = impairment_robustness_sweep(
             loss_rates=(0.0, 0.05), trials=4, seed=0, net_seed=1
         )
-        assert sorted(curves) == ["china", "india", "iran", "kazakhstan"]
+        assert sorted(curves) == [
+            "china", "india", "iran", "kazakhstan", "russia", "southkorea",
+        ]
         for curve in curves.values():
             assert sorted(curve) == [0.0, 0.05]
             for rate in curve.values():

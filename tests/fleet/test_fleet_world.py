@@ -181,6 +181,8 @@ class TestDefaultMix:
             ("iran", "http"),
             ("iran", "https"),
             ("kazakhstan", "http"),
+            ("southkorea", "https"),
+            ("russia", "https"),
         }
 
     def test_default_mix_includes_uncensored(self):

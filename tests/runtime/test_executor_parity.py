@@ -11,8 +11,16 @@ from repro.core import deployed_strategy
 from repro.eval import COUNTRY_PROTOCOLS, success_rate
 from repro.runtime import RunStats, TrialExecutor, TrialSpec, trial_seed
 
-#: One representative evading strategy per country (from Table 2).
-STRATEGY_FOR = {"china": 1, "india": 8, "iran": 8, "kazakhstan": 11}
+#: One representative evading strategy per country (Table 2, and the
+#: SNI-era grid for the post-paper boxes).
+STRATEGY_FOR = {
+    "china": 1,
+    "india": 8,
+    "iran": 8,
+    "kazakhstan": 11,
+    "southkorea": 12,
+    "russia": 15,
+}
 
 ALL_PAIRS = [
     (country, protocol)

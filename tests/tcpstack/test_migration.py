@@ -1,0 +1,108 @@
+"""Server-side connection migration at the TCP stack level.
+
+The :attr:`TCPEndpoint.accept_delay` knob (set via
+:attr:`Host.accept_hooks` / :func:`repro.strategies.tlsrecord.install_migration`)
+makes a passive open go dark: the SYN is accepted but the SYN+ACK is
+withheld for an exact virtual delay, modelling a server that re-binds its
+socket mid-handshake. These tests pin the dark period, the hook wiring,
+and the end-to-end effect against a tracking-window censor.
+"""
+
+import pytest
+
+from repro.strategies import install_migration
+
+REQUEST = b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"
+RESPONSE = b"HTTP/1.1 200 OK\r\n\r\nhello"
+
+
+def serve_and_connect(pair):
+    def on_accept(endpoint):
+        endpoint.on_data = lambda data: (
+            endpoint.send(RESPONSE), endpoint.close()
+        ) if bytes(endpoint.received) == REQUEST else None
+
+    pair.server.listen(80, on_accept)
+    ep = pair.client.open_connection("10.0.0.2", 80)
+    ep.on_established = lambda: ep.send(REQUEST)
+    ep.connect()
+    return ep
+
+
+class TestAcceptDelay:
+    def test_synack_withheld_for_exact_delay(self, linked_hosts):
+        pair = linked_hosts()
+        install_migration(pair.server, 1.5)
+        ep = serve_and_connect(pair)
+        pair.run(until=30.0)
+        assert ep.established
+        assert bytes(ep.received) == RESPONSE
+        synacks = [
+            e.time for e in pair.network.trace.filter(kind="send", location="server")
+            if e.packet is not None and e.packet.tcp is not None
+            and e.packet.flags == "SA"
+        ]
+        assert synacks, "no SYN+ACK on the wire"
+        # The dark period: nothing server-to-client before the delay.
+        assert synacks[0] >= 1.5
+
+    def test_zero_delay_is_the_default_path(self, linked_hosts):
+        pair = linked_hosts()
+        ep = serve_and_connect(pair)
+        pair.run(until=30.0)
+        first_synack = next(
+            e.time for e in pair.network.trace.filter(kind="send", location="server")
+            if e.packet is not None and e.packet.tcp is not None
+            and e.packet.flags == "SA"
+        )
+        assert first_synack < 0.1
+        assert bytes(ep.received) == RESPONSE
+
+    def test_duplicate_syns_get_no_reply_while_dark(self, linked_hosts):
+        """Client SYN retransmissions during the dark period must be met
+        with silence — a migrated socket no longer exists to ACK them."""
+        pair = linked_hosts()
+        install_migration(pair.server, 2.0)
+        serve_and_connect(pair)
+        pair.run(until=30.0)
+        server_sends_before = [
+            e for e in pair.network.trace.filter(kind="send", location="server")
+            if e.time < 2.0
+        ]
+        assert server_sends_before == []
+        c2s_syns = [
+            e.time for e in pair.network.trace.filter(kind="send", location="client")
+            if e.packet is not None and e.packet.tcp is not None
+            and e.packet.flags == "S" and e.time < 2.0
+        ]
+        assert len(c2s_syns) > 1  # the client did retransmit into the void
+
+    def test_hooks_apply_to_every_accepted_connection(self, linked_hosts):
+        pair = linked_hosts()
+        seen = []
+        pair.server.accept_hooks.append(lambda ep: seen.append(ep))
+        install_migration(pair.server, 0.5)
+        ep = serve_and_connect(pair)
+        pair.run(until=30.0)
+        assert len(seen) == 1
+        assert seen[0].accept_delay == 0.5
+        assert ep.established
+
+
+class TestMigrationVsTrackingWindow:
+    """End-to-end: the dark period outlasts (or doesn't) the SNI boxes'
+    flow-tracking window, anchored at the first SYN."""
+
+    @pytest.mark.parametrize("country,delay,evades", [
+        ("southkorea", 1.5, True),   # > 1.0 s window
+        ("southkorea", 0.2, False),
+        ("russia", 2.5, True),       # > 2.0 s window
+        ("russia", 1.5, False),      # outlasts SK's window, not russia's
+    ])
+    def test_delay_vs_window(self, country, delay, evades):
+        from repro.eval.runner import Trial
+
+        trial = Trial(country, "https", None, seed=5)
+        install_migration(trial.server_host, delay)
+        outcome = trial.run()
+        assert outcome.succeeded is evades

@@ -37,8 +37,12 @@ class TestRecommendedStrategies:
 
     def test_recommendations_reference_table2_winners(self):
         """Each recommendation's paper rate is the column maximum among
-        the strategies Table 2 lists for that country."""
+        the strategies Table 2 lists for that country. The SNI-era boxes
+        (southkorea, russia) postdate the paper and have no Table 2 row;
+        their grid lives in eval/sni_matrix.py."""
         for (country, protocol), number in RECOMMENDED_STRATEGIES.items():
+            if country in ("southkorea", "russia"):
+                continue
             chosen = paper_rate(country, number, protocol)
             assert chosen is not None, (country, protocol)
             if country == "china":

@@ -256,7 +256,9 @@ class TestImpairmentFlags:
         import json
 
         payload = json.loads(first)
-        assert sorted(payload) == ["china", "india", "iran", "kazakhstan"]
+        assert sorted(payload) == [
+            "china", "india", "iran", "kazakhstan", "russia", "southkorea",
+        ]
 
     def test_robustness_table_output(self, capsys):
         assert main([

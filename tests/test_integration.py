@@ -21,7 +21,8 @@ class TestPublicAPI:
         assert not repro.strategy(1).is_noop()
         assert not repro.compat_strategy(9).is_noop()
         assert repro.NO_EVASION.is_noop()
-        assert len(repro.SERVER_STRATEGIES) == 11
+        assert len(repro.SERVER_STRATEGIES) == 15
+        assert repro.PAPER_STRATEGY_NUMBERS == tuple(range(1, 12))
 
 
 class TestEndToEndEvasion:
