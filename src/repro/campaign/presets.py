@@ -22,6 +22,7 @@ from .spec import CampaignSpec, CellSpec
 
 __all__ = [
     "PRESETS",
+    "evolution_campaign",
     "matrix_campaign",
     "robustness_campaign",
     "sni_campaign",
@@ -152,6 +153,54 @@ def sni_campaign(trials: int = 30, seed: int = 0, shard_size: int = 30) -> Campa
     return CampaignSpec(
         name="sni", cells=cells, shard_size=shard_size,
         description="SNI-era matrix: record-level strategies vs SNI censors",
+    )
+
+
+def evolution_campaign(
+    strategies: Sequence[object],
+    country: str,
+    protocol: str,
+    trials: int = 50,
+    seed: int = 0,
+    shard_size: int = 50,
+) -> CampaignSpec:
+    """Validate GA-discovered strategies at campaign scale.
+
+    Takes the strategies an evolution run surfaced — e.g. the
+    ``hall_of_fame`` texts of a :class:`~repro.core.evolution.GAResult` —
+    and builds one cell per strategy against the censor it was trained
+    on, with the same ``trial_seed`` fan-out the fitness evaluator uses.
+    Duplicate behaviours are collapsed on canonical strategy text, so a
+    hall of fame full of respellings validates each behaviour once.
+
+    Unlike the :data:`PRESETS` entries this factory needs arguments (the
+    strategies under test), so it is called from code — see
+    ``docs/evolution.md`` — rather than from ``campaign run``.
+    """
+    from ..core import Strategy
+
+    cells: List[CellSpec] = []
+    seen = set()
+    for strategy in strategies:
+        parsed = (
+            strategy if isinstance(strategy, Strategy) else Strategy.parse(str(strategy))
+        )
+        canonical = parsed.canonical()
+        text = None if canonical.is_noop() else str(canonical)
+        if text in seen:
+            continue
+        seen.add(text)
+        cells.append(
+            CellSpec.build(
+                country, protocol, text, trials=trials, seed=seed,
+                label=f"evolved-{len(cells)}",
+            )
+        )
+    return CampaignSpec(
+        name="evolution",
+        cells=cells,
+        shard_size=shard_size,
+        description=f"GA-discovered strategies vs {country}/{protocol}",
     )
 
 

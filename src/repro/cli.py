@@ -54,6 +54,10 @@ __all__ = ["main", "build_parser"]
 _COUNTRIES = ["china", "india", "iran", "kazakhstan", "southkorea", "russia", "none"]
 _PROTOCOLS = ["dns", "ftp", "http", "https", "smtp"]
 
+#: Library strategy numbers, rendered dynamically so help text tracks
+#: additions to the strategy library without edits here.
+_STRATEGY_RANGE = f"{min(SERVER_STRATEGIES)}-{max(SERVER_STRATEGIES)}"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
@@ -69,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--strategy",
             default=None,
-            help="library strategy number (1-15) or a full Geneva strategy string",
+            help=f"library strategy number ({_STRATEGY_RANGE}) "
+                 "or a full Geneva strategy string",
         )
         p.add_argument("--seed", type=int, default=0, help="deterministic seed")
         p.add_argument(
@@ -165,7 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="describe what a strategy does on the wire"
     )
     p_explain.add_argument(
-        "strategy", help="library strategy number (1-15) or a Geneva strategy string"
+        "strategy",
+        help=f"library strategy number ({_STRATEGY_RANGE}) "
+             "or a Geneva strategy string",
     )
     p_explain.add_argument("--seed", type=int, default=0)
 
@@ -181,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="prune the winning strategy to its minimal working form",
     )
+    p_evolve.add_argument(
+        "--json", action="store_true",
+        help="emit the GA result as deterministic JSON (identical for any "
+             "--workers value)",
+    )
+    add_runtime_flags(p_evolve)
 
     p_matrix = sub.add_parser("matrix", help="measure the censorship matrix")
     p_matrix.add_argument("--seed", type=int, default=0)
@@ -214,7 +227,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_profile.add_argument(
         "--strategy", default=None,
-        help="library strategy number (1-15) or a Geneva strategy string",
+        help=f"library strategy number ({_STRATEGY_RANGE}) "
+             "or a Geneva strategy string",
     )
     p_profile.add_argument("--trials", type=int, default=5)
     p_profile.add_argument("--seed", type=int, default=0)
@@ -751,8 +765,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if report.breaks_handshake else 0
 
     if args.command == "evolve":
+        executor = _make_executor(args)
         evaluator = CensorTrialEvaluator(
-            args.country, args.protocol, trials=args.trials, seed=5
+            args.country, args.protocol, trials=args.trials, seed=5,
+            executor=executor,
         )
         ga = GeneticAlgorithm(
             evaluator,
@@ -763,15 +779,61 @@ def main(argv: Optional[List[str]] = None) -> int:
                 convergence_patience=max(8, args.generations // 3),
             ),
         )
-        result = ga.run()
-        print(f"generations run: {result.generations_run}")
-        print(f"best fitness:    {result.best_fitness:.1f}")
-        print(f"best strategy:   {result.best}")
-        if args.minimize:
-            from .core.evolution import minimize
+        def _search():
+            outcome = ga.run()
+            if args.minimize:
+                from .core.evolution import minimize
 
-            minimal, fitness = minimize(result.best, evaluator)
-            print(f"minimized:       {minimal} (fitness {fitness:.1f})")
+                return outcome, minimize(outcome.best, evaluator)
+            return outcome, None
+
+        if executor.metrics is not None:
+            # Route the GA's own counters (generations, dedup hits, batch
+            # sizes) into the telemetry registry alongside trial metrics.
+            from .obs.metrics import collecting
+
+            with collecting(executor.metrics):
+                result, minimized = _search()
+        else:
+            result, minimized = _search()
+        if args.json:
+            import json as _json
+
+            payload = {
+                "country": args.country,
+                "protocol": args.protocol,
+                "config": {
+                    "population": args.population,
+                    "generations": args.generations,
+                    "seed": args.seed,
+                    "trials": args.trials,
+                },
+                "generations_run": result.generations_run,
+                "best_fitness": result.best_fitness,
+                "best": str(result.best),
+                "history": result.history,
+                "hall_of_fame": [
+                    [text, fitness] for text, fitness in result.hall_of_fame
+                ],
+            }
+            if minimized is not None:
+                payload["minimized"] = {
+                    "strategy": str(minimized[0]),
+                    "fitness": minimized[1],
+                }
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"generations run: {result.generations_run}")
+            print(f"best fitness:    {result.best_fitness:.1f}")
+            print(f"best strategy:   {result.best}")
+            if minimized is not None:
+                print(
+                    f"minimized:       {minimized[0]} "
+                    f"(fitness {minimized[1]:.1f})"
+                )
+        if args.stats:
+            print(f"stats: {evaluator.stats.format()}")
+        _finish_run(args, executor, "evolve")
         return 0
 
     strategy = _resolve_strategy(args.strategy)

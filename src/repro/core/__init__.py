@@ -17,6 +17,8 @@ from .dsl import (
     Strategy,
     TamperAction,
     Trigger,
+    canonical_key,
+    canonical_strategy,
     parse_action,
     parse_strategy,
 )
@@ -55,6 +57,8 @@ __all__ = [
     "StrategyRecord",
     "TamperAction",
     "Trigger",
+    "canonical_key",
+    "canonical_strategy",
     "client_side_strategy",
     "compat_strategy",
     "deployed_strategy",

@@ -10,6 +10,7 @@ from .actions import (
     StallAction,
     TamperAction,
 )
+from .canonical import canonical_key, canonical_strategy, normalize_trigger
 from .parser import Strategy, parse_action, parse_strategy
 from .triggers import Trigger
 
@@ -24,6 +25,9 @@ __all__ = [
     "Strategy",
     "TamperAction",
     "Trigger",
+    "canonical_key",
+    "canonical_strategy",
+    "normalize_trigger",
     "parse_action",
     "parse_strategy",
 ]

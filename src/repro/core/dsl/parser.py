@@ -95,6 +95,16 @@ class Strategy:
         """Whether this strategy has no action trees at all."""
         return not self.outbound and not self.inbound
 
+    def canonical(self) -> "Strategy":
+        """Semantic normal form (see :mod:`repro.core.dsl.canonical`)."""
+        from .canonical import canonical_strategy
+
+        return canonical_strategy(self)
+
+    def canonical_key(self) -> str:
+        """Canonical DSL text; equal for behaviourally-equivalent strategies."""
+        return str(self.canonical())
+
     @classmethod
     def parse(cls, text: str, name: str = "") -> "Strategy":
         """Parse a strategy string (see module docstring for syntax)."""

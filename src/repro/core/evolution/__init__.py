@@ -1,18 +1,21 @@
 """Geneva's genetic algorithm: gene pools, operators, fitness, and the loop."""
 
 from .crossover import crossover
-from .fitness import CensorTrialEvaluator, FitnessEvaluator
-from .ga import EvolutionResult, GAConfig, GeneticAlgorithm
-from .genes import GenePool, client_side_pool, server_side_pool
+from .fitness import CensorTrialEvaluator, EvalStats, FitnessEvaluator
+from .ga import EvolutionResult, GAConfig, GAResult, GARunState, GeneticAlgorithm
+from .genes import GenePool, client_side_pool, genome_key, server_side_pool
 from .islands import IslandConfig, run_islands
 from .minimize import candidate_reductions, minimize
 from .mutation import all_nodes, mutate, replace_node
 
 __all__ = [
     "CensorTrialEvaluator",
+    "EvalStats",
     "EvolutionResult",
     "FitnessEvaluator",
     "GAConfig",
+    "GAResult",
+    "GARunState",
     "GenePool",
     "IslandConfig",
     "GeneticAlgorithm",
@@ -20,6 +23,7 @@ __all__ = [
     "candidate_reductions",
     "client_side_pool",
     "crossover",
+    "genome_key",
     "minimize",
     "mutate",
     "replace_node",

@@ -23,7 +23,18 @@ from ..dsl import (
     Trigger,
 )
 
-__all__ = ["GenePool", "server_side_pool", "client_side_pool"]
+__all__ = ["GenePool", "genome_key", "server_side_pool", "client_side_pool"]
+
+
+def genome_key(strategy) -> str:
+    """Deduplication key for a genome: its canonical strategy text.
+
+    Textually distinct but behaviourally identical genomes (dead trees
+    behind a repeated trigger, ``duplicate`` with a ``drop`` branch,
+    aliased trigger values...) share one key, so the batched evaluator
+    scores each *behaviour* once per run instead of once per spelling.
+    """
+    return strategy.canonical_key()
 
 #: (protocol, field, mode, candidate replace values)
 TamperGene = Tuple[str, str, str, Tuple[str, ...]]

@@ -5,6 +5,17 @@ strategy) and then rely on mutation alone to escape. Running several
 islands with different seeds and periodically migrating each island's
 best individual into its neighbour makes small-budget discovery far more
 reliable — useful when each fitness evaluation is a full censor trial.
+
+All islands share the **one** evaluator they are given: with a batched
+:class:`~repro.core.evolution.fitness.CensorTrialEvaluator` its
+canonical-genome memo is global across islands, so a genome one island
+already scored is never re-run by another. Islands also advance in
+*lockstep* — each epoch steps every island one generation at a time and
+pools the genomes no island can answer from its memo into a single
+cross-island executor dispatch, amortizing the worker pool across the
+whole archipelago. The per-island evolutionary trajectories (RNG
+streams, histories, champions, migration) are bit-identical to running
+the islands sequentially.
 """
 
 from __future__ import annotations
@@ -37,6 +48,19 @@ class IslandConfig:
     base: GAConfig = dataclasses.field(default_factory=GAConfig)
 
 
+def _prewarm(evaluator: FitnessEvaluator, pending: List[Strategy]) -> None:
+    """Batch-score genomes across islands ahead of the per-island steps.
+
+    Only batch-capable evaluators benefit; the call fills their memo so
+    each island's own scoring pass is answered without dispatching. The
+    returned fitnesses are discarded — every island re-reads them from
+    the shared memo, keeping per-island bookkeeping untouched.
+    """
+    evaluate = getattr(evaluator, "evaluate", None)
+    if evaluate is not None and pending:
+        evaluate(pending)
+
+
 def run_islands(
     evaluator: FitnessEvaluator,
     pool: Optional[GenePool] = None,
@@ -63,9 +87,21 @@ def run_islands(
     generations = 0
 
     for epoch in range(config.epochs):
+        # Lockstep epoch: every island advances one generation per round,
+        # with all islands' unseen genomes pooled into one dispatch first.
+        states = [ga.start(population) for ga, population in zip(algorithms, populations)]
+        while any(not state.done for state in states):
+            pending: List[Strategy] = []
+            for ga, state in zip(algorithms, states):
+                if not state.done:
+                    pending.extend(ga.pending_individuals(state.population))
+            _prewarm(evaluator, pending)
+            for ga, state in zip(algorithms, states):
+                ga.step(state)
+
         champions: List[Strategy] = []
-        for ga, population in zip(algorithms, populations):
-            result = ga.run(population)
+        for ga, state in zip(algorithms, states):
+            result = ga.result(state)
             generations += result.generations_run
             history.extend(result.history)
             champions.append(result.best)

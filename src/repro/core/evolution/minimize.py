@@ -84,20 +84,38 @@ def minimize(
     Returns ``(minimal_strategy, fitness)``. The evaluator should be
     deterministic enough (enough trials) that pruning decisions are
     stable.
+
+    With a batch-capable evaluator every round's candidates are scored
+    in one executor dispatch; the accepted reduction — the smallest
+    candidate whose fitness holds — is the same one the serial loop
+    picks, because acceptance is decided on the scored list in the same
+    size-sorted order.
     """
+    evaluate = getattr(evaluator, "evaluate", None)
     current = strategy.copy()
     current_fitness = evaluator(current)
     for _ in range(max_rounds):
         improved = False
-        for candidate in sorted(
+        candidates = sorted(
             candidate_reductions(current), key=lambda s: s.tree_size()
-        ):
-            fitness = evaluator(candidate)
-            if fitness >= current_fitness - tolerance:
-                current = candidate
-                current_fitness = fitness
-                improved = True
-                break
+        )
+        if evaluate is not None:
+            # One dispatch for the whole round; pick the first acceptable
+            # candidate from the batch, exactly as the serial scan would.
+            for candidate, fitness in zip(candidates, evaluate(candidates)):
+                if fitness >= current_fitness - tolerance:
+                    current = candidate
+                    current_fitness = fitness
+                    improved = True
+                    break
+        else:
+            for candidate in candidates:
+                fitness = evaluator(candidate)
+                if fitness >= current_fitness - tolerance:
+                    current = candidate
+                    current_fitness = fitness
+                    improved = True
+                    break
         if not improved:
             break
     return current, current_fitness

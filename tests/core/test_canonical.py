@@ -1,0 +1,229 @@
+"""Unit tests for semantic strategy canonicalization.
+
+Each rule in :mod:`repro.core.dsl.canonical` gets a direct example, plus
+idempotence and the things canonicalization must *not* do (anything that
+would change wire behaviour or the RNG draw sequence).
+"""
+
+import pytest
+
+from repro.core import Strategy, canonical_key, canonical_strategy
+from repro.core.dsl import Trigger, normalize_trigger
+from repro.core.evolution import genome_key
+
+
+def canon(text: str) -> str:
+    return canonical_key(Strategy.parse(text))
+
+
+class TestActionRules:
+    def test_duplicate_with_dropped_second_copy(self):
+        assert (
+            canon(r"[TCP:flags:SA]-duplicate(tamper{TCP:seq:corrupt},drop)-| \/")
+            == r"[TCP:flags:SA]-tamper{TCP:seq:corrupt}-| \/"
+        )
+
+    def test_duplicate_with_dropped_first_copy(self):
+        assert (
+            canon(r"[TCP:flags:SA]-duplicate(drop,tamper{TCP:seq:corrupt})-| \/")
+            == r"[TCP:flags:SA]-tamper{TCP:seq:corrupt}-| \/"
+        )
+
+    def test_duplicate_of_two_drops_is_drop(self):
+        assert canon(r"[TCP:flags:SA]-duplicate(drop,drop)-| \/") == (
+            r"[TCP:flags:SA]-drop-| \/"
+        )
+
+    def test_real_duplicate_survives(self):
+        assert canon(r"[TCP:flags:SA]-duplicate-| \/") == (
+            r"[TCP:flags:SA]-duplicate-| \/"
+        )
+
+    def test_fragment_with_nonpositive_offset(self):
+        assert (
+            canon(r"[TCP:flags:SA]-fragment{tcp:0:True}(tamper{TCP:seq:corrupt},duplicate)-| \/")
+            == r"[TCP:flags:SA]-tamper{TCP:seq:corrupt}-| \/"
+        )
+
+    def test_fragment_with_positive_offset_survives(self):
+        text = r"[TCP:flags:SA]-fragment{tcp:4:True}-| \/"
+        assert canon(text) == text
+
+    def test_stall_zero_unwraps(self):
+        assert (
+            canon(r"[TCP:flags:SA]-stall{0}(tamper{TCP:window:replace:10},)-| \/")
+            == r"[TCP:flags:SA]-tamper{TCP:window:replace:10}-| \/"
+        )
+
+    def test_stall_positive_survives(self):
+        text = r"[TCP:flags:SA]-stall{2}-| \/"
+        assert canon(text) == text
+
+    def test_recordsplit_zero_unwraps(self):
+        assert (
+            canon(r"[TCP:flags:SA]-recordsplit{0}(duplicate,)-| \/")
+            == r"[TCP:flags:SA]-duplicate-| \/"
+        )
+
+    def test_dead_store_replace_removed(self):
+        assert (
+            canon(
+                r"[TCP:flags:SA]-tamper{TCP:window:replace:99}"
+                r"(tamper{TCP:window:replace:10},)-| \/"
+            )
+            == r"[TCP:flags:SA]-tamper{TCP:window:replace:10}-| \/"
+        )
+
+    def test_dead_store_different_fields_kept(self):
+        text = (
+            r"[TCP:flags:SA]-tamper{TCP:seq:replace:1}"
+            r"(tamper{TCP:window:replace:10},)-| \/"
+        )
+        assert canon(text) == text
+
+    def test_corrupt_never_removed(self):
+        # The corrupt draws from the trial RNG; removing it would shift
+        # every later draw. And a bytes-kind corrupt reads the *current*
+        # length, so even an overwritten corrupt is live.
+        text = (
+            r"[TCP:flags:SA]-tamper{TCP:load:replace:x}"
+            r"(tamper{TCP:load:corrupt},)-| \/"
+        )
+        assert canon(text) == text
+
+    def test_corrupt_outer_not_dead_store(self):
+        text = (
+            r"[TCP:flags:SA]-tamper{TCP:seq:corrupt}"
+            r"(tamper{TCP:seq:replace:5},)-| \/"
+        )
+        assert canon(text) == text
+
+    def test_replace_value_int_respelling(self):
+        assert (
+            canon(r"[TCP:flags:SA]-tamper{TCP:window:replace:010}-| \/")
+            == r"[TCP:flags:SA]-tamper{TCP:window:replace:10}-| \/"
+        )
+
+    def test_replace_value_flags_respelling(self):
+        assert (
+            canon(r"[TCP:flags:SA]-tamper{TCP:flags:replace:as}-| \/")
+            == r"[TCP:flags:SA]-tamper{TCP:flags:replace:SA}-| \/"
+        )
+
+
+class TestTriggerRules:
+    def test_flags_value_normalized_to_wire_order(self):
+        assert canon(r"[TCP:flags:AS]-drop-| \/") == r"[TCP:flags:SA]-drop-| \/"
+
+    def test_int_value_normalized(self):
+        assert canon(r"[TCP:window:010]-drop-| \/") == r"[TCP:window:10]-drop-| \/"
+
+    def test_invalid_flag_letter_is_dead(self):
+        assert canon(r"[TCP:flags:SAX]-drop-| \/") == r"\/"
+
+    def test_unknown_field_is_dead(self):
+        assert canon(r"[TCP:bogus:1]-drop-| \/") == r"\/"
+
+    def test_unparseable_int_is_dead(self):
+        assert canon(r"[TCP:window:lots]-drop-| \/") == r"\/"
+
+    def test_normalize_trigger_reports_kind(self):
+        trigger, kind = normalize_trigger(Trigger("TCP", "flags", "AS"))
+        assert (str(trigger), kind) == ("[TCP:flags:SA]", "flags")
+        assert normalize_trigger(Trigger("TCP", "bogus", "1")) is None
+
+
+class TestForestRules:
+    def test_repeated_trigger_second_tree_unreachable(self):
+        assert (
+            canon(
+                r"[TCP:flags:SA]-duplicate(tamper{TCP:seq:corrupt},)-| "
+                r"[TCP:flags:SA]-drop-| \/"
+            )
+            == r"[TCP:flags:SA]-duplicate(tamper{TCP:seq:corrupt},)-| \/"
+        )
+
+    def test_aliased_trigger_counts_as_repeat(self):
+        assert (
+            canon(r"[TCP:flags:SA]-duplicate-| [TCP:flags:AS]-drop-| \/")
+            == r"[TCP:flags:SA]-duplicate-| \/"
+        )
+
+    def test_trailing_send_tree_removed(self):
+        assert (
+            canon(r"[TCP:flags:SA]-tamper{TCP:seq:corrupt}-| [IP:ttl:5]-send-| \/")
+            == r"[TCP:flags:SA]-tamper{TCP:seq:corrupt}-| \/"
+        )
+
+    def test_exclusive_forest_sorted_and_send_dropped(self):
+        assert (
+            canon(
+                r"[TCP:flags:PA]-send-| "
+                r"[TCP:flags:SA]-drop-| "
+                r"[TCP:flags:A]-duplicate-| \/"
+            )
+            == r"[TCP:flags:A]-duplicate-| [TCP:flags:SA]-drop-| \/"
+        )
+
+    def test_mixed_field_forest_keeps_order_and_mid_send(self):
+        # ttl and flags can both match one packet: order is load-bearing
+        # and a mid-forest send shadows later trees.
+        text = r"[IP:ttl:64]-send-| [TCP:flags:SA]-drop-| \/"
+        assert canon(text) == text
+
+    def test_inbound_forest_normalized_too(self):
+        assert (
+            canon(r"[TCP:flags:SA]-duplicate-| \/ [TCP:flags:AS]-send-|")
+            == r"[TCP:flags:SA]-duplicate-| \/"
+        )
+
+    def test_all_dead_collapses_to_empty(self):
+        strategy = canonical_strategy(Strategy.parse(r"[TCP:flags:SA]-send-| \/"))
+        assert strategy.is_noop()
+
+
+class TestCanonicalContract:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            r"[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},)-| [TCP:flags:AS]-drop-| \/",
+            r"[TCP:flags:PA]-send-| [TCP:flags:A]-fragment{tcp:0:False}(duplicate,)-| \/",
+            r"[TCP:flags:SA]-stall{0}(recordsplit{0}(duplicate(drop,send),),)-| \/",
+        ],
+    )
+    def test_idempotent(self, text):
+        once = canonical_strategy(Strategy.parse(text))
+        twice = canonical_strategy(once)
+        assert str(once) == str(twice)
+
+    def test_genome_key_matches_canonical_key(self):
+        strategy = Strategy.parse(r"[TCP:flags:AS]-duplicate(drop,duplicate)-| \/")
+        assert genome_key(strategy) == canonical_key(strategy)
+        assert genome_key(strategy) == r"[TCP:flags:SA]-duplicate-| \/"
+
+    def test_genome_key_collapses_to_noop(self):
+        # duplicate(send, drop) is send, and a lone send-tree is identity.
+        strategy = Strategy.parse(r"[TCP:flags:AS]-duplicate(send,drop)-| \/")
+        assert genome_key(strategy) == r"\/"
+
+    def test_canonical_preserves_raw_object(self):
+        strategy = Strategy.parse(r"[TCP:flags:AS]-duplicate(send,drop)-| \/")
+        before = str(strategy)
+        strategy.canonical()
+        assert str(strategy) == before
+
+    def test_strategy_methods(self):
+        strategy = Strategy.parse(r"[TCP:flags:AS]-drop-| \/")
+        assert str(strategy.canonical()) == r"[TCP:flags:SA]-drop-| \/"
+        assert strategy.canonical_key() == r"[TCP:flags:SA]-drop-| \/"
+
+    def test_library_strategies_round_trip(self):
+        # Canonical text must itself be canonical (fixed point), and a
+        # deployed strategy must never canonicalize to a no-op.
+        from repro.core import SERVER_STRATEGIES, deployed_strategy
+
+        for number in sorted(SERVER_STRATEGIES):
+            strategy = deployed_strategy(number)
+            key = canonical_key(strategy)
+            assert canonical_key(Strategy.parse(key)) == key
+            assert not canonical_strategy(strategy).is_noop()

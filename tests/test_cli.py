@@ -324,3 +324,67 @@ class TestFleetCommand:
 
         payload = json.loads(metrics.read_text())
         assert any("repro_fleet" in name for name in payload)
+
+
+class TestEvolveFlags:
+    ARGS = [
+        "evolve", "kazakhstan", "http",
+        "--population", "10", "--generations", "3", "--seed", "2", "--trials", "1",
+    ]
+
+    def test_json_deterministic_across_worker_counts(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--json", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        payload = json.loads(serial)
+        assert payload["country"] == "kazakhstan"
+        assert payload["config"]["population"] == 10
+        assert len(payload["history"]) == payload["generations_run"]
+        assert payload["hall_of_fame"]
+        assert payload["best_fitness"] == payload["hall_of_fame"][0][1]
+
+    def test_stats_reports_ga_and_executor_lines(self, capsys):
+        assert main(self.ARGS + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "stats: ga: submitted=" in out
+        assert "evals_avoided=" in out
+        assert "stats: trials=" in out  # executor line rides along
+        assert "executed=" in out
+
+    def test_cache_dir_makes_second_run_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = self.ARGS + ["--cache-dir", cache, "--stats"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache_hits=0" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "executed=0" in second
+        assert first.split("stats:")[0] == second.split("stats:")[0]
+
+    def test_telemetry_includes_ga_metrics(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "tele"
+        assert main(self.ARGS + ["--telemetry", str(out_dir)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads((out_dir / "metrics.json").read_text())
+        assert "repro_ga_batches_total" in snapshot
+        assert "repro_ga_dedup_total" in snapshot
+        deterministic = json.loads(
+            (out_dir / "metrics.deterministic.json").read_text()
+        )
+        assert "repro_ga_dedup_total" in deterministic
+
+    def test_help_shows_strategy_range(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--help"])
+        out = capsys.readouterr().out
+        from repro.core import SERVER_STRATEGIES
+
+        expected = f"{min(SERVER_STRATEGIES)}-{max(SERVER_STRATEGIES)}"
+        assert expected in out
