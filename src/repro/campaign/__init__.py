@@ -16,7 +16,7 @@ resume semantics, and the multi-machine recipe.
 """
 
 from .ledger import CampaignLedger, LedgerError
-from .presets import PRESETS, evolution_campaign
+from .presets import PRESETS, coevolve_campaign, evolution_campaign
 from .runner import CampaignResult, CellResult, format_campaign, run_campaign
 from .spec import (
     DEFAULT_SHARD_SIZE,
@@ -38,6 +38,7 @@ __all__ = [
     "CellResult",
     "CellSpec",
     "LedgerError",
+    "coevolve_campaign",
     "evolution_campaign",
     "Shard",
     "format_campaign",

@@ -22,6 +22,7 @@ from .spec import CampaignSpec, CellSpec
 
 __all__ = [
     "PRESETS",
+    "coevolve_campaign",
     "evolution_campaign",
     "matrix_campaign",
     "robustness_campaign",
@@ -204,8 +205,64 @@ def evolution_campaign(
     )
 
 
+def coevolve_campaign(
+    trials: int = 20,
+    seed: int = 1,
+    shard_size: int = 20,
+    country: str = "china",
+    epochs: int = 2,
+) -> CampaignSpec:
+    """Frontier validation for a co-evolution run, at campaign scale.
+
+    Replays a small deterministic arms race
+    (:func:`~repro.core.evolution.run_coevolution`) at spec-build time,
+    then emits one cell per (paper strategy, censor) pair: every
+    applicable paper strategy against the calibrated baseline and
+    against each censor in the final adapted hall of fame (the adapted
+    genomes ride in the cell's ``censor_params`` option). Because the
+    search is seeded, rebuilding the spec — including ``--resume`` after
+    an interruption — regenerates the identical cell list.
+    """
+    from ..core.evolution import (
+        COEVOLVE_PROTOCOLS,
+        CoevolveConfig,
+        run_coevolution,
+    )
+
+    config = CoevolveConfig(
+        epochs=epochs,
+        strategy_population=8,
+        censor_population=4,
+        trials=1,
+        frontier_trials=1,
+        seed=seed,
+    )
+    result = run_coevolution(country, config=config)
+    protocol = COEVOLVE_PROTOCOLS[country]
+    opponents = [("baseline", None)] + [
+        (f"adapted-{index}", entry["genome"]["params"])
+        for index, entry in enumerate(result.final_censor_hof)
+    ]
+    cells: List[CellSpec] = []
+    for entry in result.frontier:
+        for name, params in opponents:
+            options = {} if params is None else {"censor_params": params}
+            cells.append(
+                CellSpec.build(
+                    country, protocol, entry.number, trials=trials,
+                    seed=seed + len(cells) * 1_000_003, options=options,
+                    label=f"s{entry.number}-{name}",
+                )
+            )
+    return CampaignSpec(
+        name="coevolve", cells=cells, shard_size=shard_size,
+        description=f"Robustness frontier validation vs adapted {country} censors",
+    )
+
+
 #: CLI-facing preset registry: name -> CampaignSpec factory.
 PRESETS: Dict[str, Callable[..., CampaignSpec]] = {
+    "coevolve": coevolve_campaign,
     "matrix": matrix_campaign,
     "robustness": robustness_campaign,
     "sni": sni_campaign,

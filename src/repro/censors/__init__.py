@@ -6,6 +6,15 @@ the paper sections the behaviour comes from, and
 :mod:`repro.censors.gfw.profiles` for the calibration constants.
 """
 
+from .adaptive import (
+    ADAPTIVE_COUNTRIES,
+    CENSOR_PARAM_SPECS,
+    CensorGenome,
+    ParamSpec,
+    axis_probe_genomes,
+    build_censor,
+    seeded_censor_population,
+)
 from .base import Censor, client_oriented_key, flow_key
 from .carrier import CarrierNATBox, att_box, tmobile_box, wifi_box
 from .dpi import (
@@ -39,13 +48,16 @@ from .sni import (
 )
 
 __all__ = [
+    "ADAPTIVE_COUNTRIES",
     "AirtelCensor",
     "BLACKHOLE_DURATION",
     "BoxProfile",
+    "CENSOR_PARAM_SPECS",
     "CHINA_KEYWORDS",
     "CHINA_PROFILES",
     "CarrierNATBox",
     "Censor",
+    "CensorGenome",
     "GreatFirewall",
     "INDIA_KEYWORDS",
     "IRAN_KEYWORDS",
@@ -55,6 +67,7 @@ __all__ = [
     "KeywordSet",
     "MITM_DURATION",
     "PAYLOAD_IGNORE_THRESHOLD",
+    "ParamSpec",
     "ProtocolBox",
     "RUSSIA_KEYWORDS",
     "RUSSIA_TRACKING_WINDOW",
@@ -63,7 +76,9 @@ __all__ = [
     "SOUTHKOREA_KEYWORDS",
     "SOUTHKOREA_TRACKING_WINDOW",
     "att_box",
+    "axis_probe_genomes",
     "build_block_page",
+    "build_censor",
     "client_oriented_key",
     "flow_key",
     "looks_like_http_get",
@@ -73,6 +88,7 @@ __all__ = [
     "match_https",
     "match_smtp",
     "russia_censor",
+    "seeded_censor_population",
     "southkorea_censor",
     "tmobile_box",
     "wifi_box",

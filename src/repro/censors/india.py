@@ -15,7 +15,7 @@ Behaviour reverse-engineered by the paper (building on Yadav et al.):
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+from typing import FrozenSet, List, Optional
 
 from ..netsim import PathContext
 from ..packets import Packet, make_tcp_packet
@@ -53,10 +53,17 @@ class AirtelCensor(Censor):
         self,
         keywords: KeywordSet = INDIA_KEYWORDS,
         censored_ports: FrozenSet[int] = frozenset({80}),
+        inspect_depth: Optional[int] = None,
+        rst_count: int = 1,
     ) -> None:
         super().__init__()
         self.keywords = keywords
         self.censored_ports = censored_ports
+        # Adaptive knobs (repro.censors.adaptive): how many payload bytes
+        # the DPI examines (None = unbounded, the calibrated behaviour)
+        # and how many follow-up RSTs ride behind the block page.
+        self.inspect_depth = inspect_depth
+        self.rst_count = rst_count
 
     def process(self, packet: Packet, direction: str, ctx: PathContext) -> List[Packet]:
         if packet.tcp is None:
@@ -65,10 +72,15 @@ class AirtelCensor(Censor):
             self.is_client_to_server(direction)
             and packet.dport in self.censored_ports
             and packet.load
-            and match_http(packet.load, self.keywords) is True
+            and match_http(self._inspected(packet.load), self.keywords) is True
         ):
             self._inject_block_page(packet, ctx)
         return [packet]  # on-path: the request still reaches the server
+
+    def _inspected(self, load: bytes) -> bytes:
+        if self.inspect_depth is None:
+            return load
+        return load[: self.inspect_depth]
 
     def _inject_block_page(self, packet: Packet, ctx: PathContext) -> None:
         self.record_censorship(ctx, packet, "http host blocked")
@@ -85,15 +97,16 @@ class AirtelCensor(Censor):
             ack=ack,
             load=page,
         )
-        # Follow-up RST (observed by Yadav et al. and in the paper).
-        rst = make_tcp_packet(
-            src=packet.dst,
-            dst=packet.src,
-            sport=packet.dport,
-            dport=packet.sport,
-            flags="RA",
-            seq=(seq + len(page) + 1) % _MOD,
-            ack=ack,
-        )
         ctx.inject(block, toward="client")
-        ctx.inject(rst, toward="client")
+        # Follow-up RST(s) (observed by Yadav et al. and in the paper).
+        for _ in range(self.rst_count):
+            rst = make_tcp_packet(
+                src=packet.dst,
+                dst=packet.src,
+                sport=packet.dport,
+                dport=packet.sport,
+                flags="RA",
+                seq=(seq + len(page) + 1) % _MOD,
+                ack=ack,
+            )
+            ctx.inject(rst, toward="client")

@@ -13,7 +13,7 @@ Behaviour from the paper:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Optional
 
 from ..netsim import PathContext
 from ..obs.metrics import Counter
@@ -46,12 +46,16 @@ class IranCensor(Censor):
         http_ports: FrozenSet[int] = frozenset({80}),
         https_ports: FrozenSet[int] = frozenset({443}),
         duration: float = BLACKHOLE_DURATION,
+        inspect_depth: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.keywords = keywords
         self.http_ports = http_ports
         self.https_ports = https_ports
         self.duration = duration
+        # Adaptive knob (repro.censors.adaptive): payload bytes the DPI
+        # examines per packet (None = unbounded, the calibrated model).
+        self.inspect_depth = inspect_depth
         self.blackholed: Dict[FlowKey, float] = {}
 
     def process(self, packet: Packet, direction: str, ctx: PathContext) -> List[Packet]:
@@ -72,8 +76,11 @@ class IranCensor(Censor):
         return [packet]
 
     def _forbidden(self, packet: Packet) -> bool:
+        load = packet.load
+        if self.inspect_depth is not None:
+            load = load[: self.inspect_depth]
         if packet.dport in self.http_ports:
-            return match_http(packet.load, self.keywords) is True
+            return match_http(load, self.keywords) is True
         if packet.dport in self.https_ports:
-            return match_https(packet.load, self.keywords) is True
+            return match_https(load, self.keywords) is True
         return False

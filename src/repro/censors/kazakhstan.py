@@ -24,7 +24,7 @@ Behaviour from the paper:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Optional
 
 from ..netsim import PathContext
 from ..packets import Packet, make_tcp_packet
@@ -78,10 +78,18 @@ class KazakhstanCensor(Censor):
         self,
         keywords: KeywordSet = KAZAKHSTAN_KEYWORDS,
         censored_ports: FrozenSet[int] = frozenset({80}),
+        mitm_duration: float = MITM_DURATION,
+        payload_ignore_threshold: int = PAYLOAD_IGNORE_THRESHOLD,
+        inspect_depth: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.keywords = keywords
         self.censored_ports = censored_ports
+        # Adaptive knobs (repro.censors.adaptive): defaults reproduce the
+        # module constants the paper's calibration uses.
+        self.mitm_duration = mitm_duration
+        self.payload_ignore_threshold = payload_ignore_threshold
+        self.inspect_depth = inspect_depth
         self.flows: Dict[FlowKey, _KZFlow] = {}
 
     # ------------------------------------------------------------------
@@ -119,15 +127,20 @@ class KazakhstanCensor(Censor):
                     self._process_injected_get(flow, packet, ctx)
             else:
                 flow.server_payloads += 1
-                if flow.server_payloads >= PAYLOAD_IGNORE_THRESHOLD:
+                if flow.server_payloads >= self.payload_ignore_threshold:
                     # Payloads from the server during the handshake violate
                     # the censor's model (Strategy 9 — exactly three needed).
                     flow.ignored = True
                     ctx.record("censor", packet, "flow ignored: handshake payloads")
         return [packet]
 
+    def _inspected(self, load: bytes) -> bytes:
+        if self.inspect_depth is None:
+            return load
+        return load[: self.inspect_depth]
+
     def _process_injected_get(self, flow: _KZFlow, packet: Packet, ctx: PathContext) -> None:
-        verdict = match_http(packet.load, self.keywords)
+        verdict = match_http(self._inspected(packet.load), self.keywords)
         if verdict is True:
             # The censor-probing experiment: injected forbidden content
             # elicits a censor response toward whoever it now believes is
@@ -149,9 +162,9 @@ class KazakhstanCensor(Censor):
         tcp = packet.tcp
         if not tcp.load:
             return [packet]
-        if not flow.ignored and match_http(tcp.load, self.keywords) is True:
+        if not flow.ignored and match_http(self._inspected(tcp.load), self.keywords) is True:
             self.record_censorship(ctx, packet, "http host blocked (mitm)")
-            flow.mitm_until = ctx.now + MITM_DURATION
+            flow.mitm_until = ctx.now + self.mitm_duration
             self._inject_block_page(packet, ctx, toward="client")
             return []  # intercepted: the forbidden request never arrives
         flow.handshake_done = True

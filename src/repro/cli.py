@@ -7,6 +7,9 @@ Subcommands:
 - ``strategies`` list the paper's 11 strategies (with their DSL);
 - ``waterfall``  render the packet waterfall for a strategy;
 - ``evolve``     run the genetic algorithm against a censor;
+- ``coevolve``   co-evolve adaptive censor populations against strategy
+  populations and report the strategy-robustness frontier
+  (``coevolve china --epochs 3 --json``; see ``docs/coevolve.md``);
 - ``matrix``     measure the Table 1 censorship matrix;
 - ``robustness`` sweep strategy success against per-link packet loss;
 - ``sni``        measure the SNI-era matrix (record-level server-side
@@ -194,6 +197,43 @@ def build_parser() -> argparse.ArgumentParser:
              "--workers value)",
     )
     add_runtime_flags(p_evolve)
+
+    p_coevolve = sub.add_parser(
+        "coevolve",
+        help="co-evolve adaptive censors against strategy populations",
+    )
+    p_coevolve.add_argument(
+        "country", nargs="?", default="china", choices=_COUNTRIES[:-1],
+        help="censor country to adapt (default: china)",
+    )
+    p_coevolve.add_argument(
+        "protocol", nargs="?", default=None, choices=_PROTOCOLS,
+        help="application protocol (default: the country's paper protocol)",
+    )
+    p_coevolve.add_argument("--epochs", type=int, default=3)
+    p_coevolve.add_argument(
+        "--strategy-population", type=int, default=12,
+        help="Geneva strategy population size (default: 12)",
+    )
+    p_coevolve.add_argument(
+        "--censor-population", type=int, default=6,
+        help="censor genome population size (default: 6)",
+    )
+    p_coevolve.add_argument(
+        "--trials", type=int, default=2,
+        help="trials per strategy x censor pair during the search",
+    )
+    p_coevolve.add_argument(
+        "--frontier-trials", type=int, default=10,
+        help="trials per pair for the final frontier report",
+    )
+    p_coevolve.add_argument("--seed", type=int, default=1)
+    p_coevolve.add_argument(
+        "--json", action="store_true",
+        help="emit the robustness frontier as deterministic JSON "
+             "(identical for any --workers value)",
+    )
+    add_runtime_flags(p_coevolve)
 
     p_matrix = sub.add_parser("matrix", help="measure the censorship matrix")
     p_matrix.add_argument("--seed", type=int, default=0)
@@ -474,6 +514,25 @@ def _finish_run(args, executor, command: str) -> None:
             args.telemetry, snapshot, runlog=executor.runlog, run_meta=meta
         )
         print(f"wrote {len(written)} telemetry artifacts to {args.telemetry}/")
+
+
+def _dump_deterministic_json(payload, label: str) -> str:
+    """Serialize a ``--json`` payload, refusing NaN/Infinity outright.
+
+    ``json.dumps`` happily emits the non-standard tokens ``NaN`` and
+    ``Infinity``, which most consumers (and ``json.loads`` in strict
+    mode) reject. A NaN fitness means the run is broken; fail loudly
+    instead of emitting JSON that breaks downstream parsers.
+    """
+    import json as _json
+
+    try:
+        return _json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+    except ValueError as exc:
+        raise SystemExit(
+            f"{label}: refusing to emit non-standard JSON "
+            f"(NaN/Infinity in payload): {exc}"
+        )
 
 
 def _resolve_strategy(text: Optional[str]) -> Optional[Strategy]:
@@ -821,7 +880,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "strategy": str(minimized[0]),
                     "fitness": minimized[1],
                 }
-            print(_json.dumps(payload, indent=2, sort_keys=True))
+            print(_dump_deterministic_json(payload, "evolve --json"))
         else:
             print(f"generations run: {result.generations_run}")
             print(f"best fitness:    {result.best_fitness:.1f}")
@@ -834,6 +893,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.stats:
             print(f"stats: {evaluator.stats.format()}")
         _finish_run(args, executor, "evolve")
+        return 0
+
+    if args.command == "coevolve":
+        from .core.evolution import CoevolveConfig, run_coevolution
+
+        executor = _make_executor(args)
+        config = CoevolveConfig(
+            epochs=args.epochs,
+            strategy_population=args.strategy_population,
+            censor_population=args.censor_population,
+            trials=args.trials,
+            frontier_trials=args.frontier_trials,
+            seed=args.seed,
+        )
+
+        def _race():
+            return run_coevolution(
+                args.country,
+                protocol=args.protocol,
+                config=config,
+                executor=executor,
+            )
+
+        if executor.metrics is not None:
+            from .obs.metrics import collecting
+
+            with collecting(executor.metrics):
+                result = _race()
+        else:
+            result = _race()
+        if args.json:
+            print(_dump_deterministic_json(result.as_dict(), "coevolve --json"))
+        else:
+            print(
+                f"{result.country}/{result.protocol}: "
+                f"{len(result.epochs)} epochs of censor adaptation"
+            )
+            print(f"{'#':>3} {'strategy':<30} {'static':>7} {'adapted':>8}  status")
+            for entry in result.frontier:
+                print(
+                    f"{entry.number:>3} {entry.name[:30]:<30} "
+                    f"{entry.static_rate:>7.2f} {entry.adapted_rate:>8.2f}  "
+                    f"{entry.status}"
+                )
+            for novel in result.novel_strategies:
+                print(
+                    f"novel: {novel['strategy']}  "
+                    f"static={novel['static_rate']:.2f} "
+                    f"adapted={novel['adapted_rate']:.2f}"
+                )
+            top = result.final_censor_hof[0]
+            print(
+                f"strongest adapted censor defeats "
+                f"{top['defeat_rate']:.0%} of paper strategies: "
+                f"{top['genome']['params']}"
+            )
+        if args.stats:
+            print(f"stats: {result.stats.format()}")
+        _finish_run(args, executor, "coevolve")
         return 0
 
     strategy = _resolve_strategy(args.strategy)

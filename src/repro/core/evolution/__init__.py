@@ -1,5 +1,17 @@
 """Geneva's genetic algorithm: gene pools, operators, fitness, and the loop."""
 
+from .coevolve import (
+    COEVOLVE_PROTOCOLS,
+    CoevolveConfig,
+    CoevolveResult,
+    CoevolveStats,
+    EpochRecord,
+    FrontierEntry,
+    PairEvaluator,
+    PairOutcome,
+    paper_strategy_numbers,
+    run_coevolution,
+)
 from .crossover import crossover
 from .fitness import CensorTrialEvaluator, EvalStats, FitnessEvaluator
 from .ga import EvolutionResult, GAConfig, GAResult, GARunState, GeneticAlgorithm
@@ -9,16 +21,24 @@ from .minimize import candidate_reductions, minimize
 from .mutation import all_nodes, mutate, replace_node
 
 __all__ = [
+    "COEVOLVE_PROTOCOLS",
     "CensorTrialEvaluator",
+    "CoevolveConfig",
+    "CoevolveResult",
+    "CoevolveStats",
+    "EpochRecord",
     "EvalStats",
     "EvolutionResult",
     "FitnessEvaluator",
+    "FrontierEntry",
     "GAConfig",
     "GAResult",
     "GARunState",
     "GenePool",
     "IslandConfig",
     "GeneticAlgorithm",
+    "PairEvaluator",
+    "PairOutcome",
     "all_nodes",
     "candidate_reductions",
     "client_side_pool",
@@ -26,7 +46,8 @@ __all__ = [
     "genome_key",
     "minimize",
     "mutate",
+    "paper_strategy_numbers",
     "replace_node",
-    "run_islands",
+    "run_coevolution",
     "server_side_pool",
 ]

@@ -137,10 +137,25 @@ def default_port(protocol: str) -> int:
     return _DEFAULT_PORTS[protocol]
 
 
-def make_censor(country: Optional[str], rng: random.Random) -> Optional[Censor]:
-    """Instantiate the censor model for ``country`` (None = no censor)."""
+def make_censor(
+    country: Optional[str],
+    rng: random.Random,
+    params: Optional[dict] = None,
+) -> Optional[Censor]:
+    """Instantiate the censor model for ``country`` (None = no censor).
+
+    ``params`` configures an *adaptive* censor variant (see
+    :mod:`repro.censors.adaptive`): a JSON-able dict of bounded knobs —
+    a :class:`~repro.censors.adaptive.CensorGenome`'s ``params`` — that
+    reshapes the calibrated model. ``None`` keeps the paper's static
+    calibration on the exact pre-adaptive code path.
+    """
     if country is None:
         return None
+    if params is not None:
+        from ..censors.adaptive import build_censor
+
+        return build_censor(country, params, rng)
     if country == "china":
         return GreatFirewall(rng=rng)
     if country == "india":
@@ -200,6 +215,7 @@ class Trial:
         impairment=None,
         net_seed: Optional[int] = None,
         capture_trace: bool = True,
+        censor_params: Optional[dict] = None,
     ) -> None:
         if ip_version not in (4, 6):
             raise ValueError("ip_version must be 4 or 6")
@@ -240,7 +256,13 @@ class Trial:
             "server", server_ip, self.scheduler, server_rng, SERVER_PERSONALITY
         )
 
-        self.censor = censor if censor is not None else make_censor(country, censor_rng)
+        if censor is not None and censor_params is not None:
+            raise ValueError("pass either censor= or censor_params=, not both")
+        self.censor = (
+            censor
+            if censor is not None
+            else make_censor(country, censor_rng, censor_params)
+        )
         middleboxes: List[Middlebox] = list(client_side_boxes)
         pad_before = censor_hop - 1 - len(middleboxes)
         middleboxes.extend(Middlebox() for _ in range(max(0, pad_before)))

@@ -5,6 +5,7 @@ import pytest
 from repro.campaign import CampaignLedger, run_campaign
 from repro.campaign.presets import (
     PRESETS,
+    coevolve_campaign,
     matrix_campaign,
     robustness_campaign,
     table2_campaign,
@@ -18,7 +19,7 @@ from repro.eval.table2 import CHINA_STRATEGY_NUMBERS
 class TestRegistry:
     def test_all_presets_registered(self):
         assert sorted(PRESETS) == [
-            "matrix", "robustness", "sni", "table2", "table2-china",
+            "coevolve", "matrix", "robustness", "sni", "table2", "table2-china",
         ]
 
     def test_every_preset_expands(self):
@@ -57,6 +58,22 @@ class TestSeedDerivations:
     def test_matrix_cells_carry_workloads(self):
         spec = matrix_campaign(trials=1)
         assert all("workload" in c.options for c in spec.cells)
+
+    def test_coevolve_preset_rebuilds_identically(self):
+        """Resume-safety: the seeded search regenerates the same cells."""
+        first = coevolve_campaign(trials=2, seed=1)
+        second = coevolve_campaign(trials=2, seed=1)
+        assert first.campaign_hash() == second.campaign_hash()
+
+    def test_coevolve_cells_pair_paper_strategies_with_censors(self):
+        spec = coevolve_campaign(trials=2, seed=1)
+        baseline = [c for c in spec.cells if c.label.endswith("-baseline")]
+        adapted = [c for c in spec.cells if "-adapted-" in c.label]
+        assert baseline and adapted
+        assert all("censor_params" not in c.options for c in baseline)
+        assert all("censor_params" in c.options for c in adapted)
+        # Every adapted cell must expand into runnable trial specs.
+        assert adapted[0].trial_specs()
 
 
 class TestTable2ChinaAcceptance:

@@ -1,0 +1,126 @@
+"""Co-evolution engine: determinism, batching discipline, the frontier."""
+
+import json
+
+import pytest
+
+from repro.core.evolution import (
+    CoevolveConfig,
+    PairEvaluator,
+    run_coevolution,
+)
+from repro.censors.adaptive import CensorGenome
+from repro.runtime import TrialExecutor
+
+SMOKE = CoevolveConfig(
+    epochs=2,
+    strategy_population=8,
+    censor_population=4,
+    trials=1,
+    frontier_trials=4,
+    seed=1,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_coevolution("china", config=SMOKE, workers=1)
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, smoke_result):
+        again = run_coevolution("china", config=SMOKE, workers=1)
+        assert json.dumps(again.as_dict(), sort_keys=True) == json.dumps(
+            smoke_result.as_dict(), sort_keys=True
+        )
+
+    def test_worker_count_invariant(self, smoke_result):
+        """The trajectory is bit-identical for 1 vs 4 workers."""
+        executor = TrialExecutor(workers=4)
+        parallel = run_coevolution("china", config=SMOKE, executor=executor)
+        assert json.dumps(parallel.as_dict(), sort_keys=True) == json.dumps(
+            smoke_result.as_dict(), sort_keys=True
+        )
+
+    def test_seed_changes_trajectory(self, smoke_result):
+        import dataclasses
+
+        other = run_coevolution(
+            "china", config=dataclasses.replace(SMOKE, seed=99), workers=1
+        )
+        assert (
+            other.epochs[-1].censor_hof != smoke_result.epochs[-1].censor_hof
+            or other.epochs[-1].strategy_hof != smoke_result.epochs[-1].strategy_hof
+        )
+
+
+class TestBatching:
+    def test_one_dispatch_per_epoch_plus_frontier(self, smoke_result):
+        # Each epoch's full pair grid goes out as a single run_batch, and
+        # the frontier pass adds exactly one more.
+        assert smoke_result.stats.batches == SMOKE.epochs + 1
+
+    def test_memo_avoids_rework(self, smoke_result):
+        stats = smoke_result.stats
+        assert stats.memo_hits > 0
+        assert stats.evaluated + stats.memo_hits + stats.duplicates == stats.submitted
+
+
+class TestFrontier:
+    def test_frontier_covers_paper_strategies(self, smoke_result):
+        from repro.core.evolution import paper_strategy_numbers
+
+        assert [e.number for e in smoke_result.frontier] == paper_strategy_numbers(
+            "china"
+        )
+
+    def test_acceptance_run_degrades_a_paper_strategy(self):
+        """The ISSUE acceptance invocation: seed 1, 3 epochs, default scale."""
+        result = run_coevolution(
+            "china", config=CoevolveConfig(epochs=3, seed=1), workers=1
+        )
+        assert any(
+            entry.status in ("degraded", "collapsed") for entry in result.frontier
+        )
+        degraded = [
+            entry
+            for entry in result.frontier
+            if entry.status in ("degraded", "collapsed")
+        ]
+        for entry in degraded:
+            assert entry.static_rate - entry.adapted_rate >= 0.25
+
+    def test_statuses_valid(self, smoke_result):
+        for entry in smoke_result.frontier:
+            assert entry.status in ("survived", "degraded", "collapsed")
+            assert 0.0 <= entry.static_rate <= 1.0
+            assert 0.0 <= entry.adapted_rate <= 1.0
+
+    def test_result_dict_is_json_roundtrippable(self, smoke_result):
+        payload = json.loads(json.dumps(smoke_result.as_dict()))
+        assert payload["country"] == "china"
+        assert payload["protocol"] == "http"
+        assert len(payload["epochs"]) == SMOKE.epochs
+
+
+class TestPairEvaluator:
+    def test_baseline_pairs_share_specs_with_plain_runs(self):
+        """Baseline genomes omit censor_params, sharing the trial cache."""
+        from repro.runtime import TrialSpec, trial_seed
+
+        ev = PairEvaluator("china", "http", trials=1, seed=5)
+        specs = ev._specs_for("\\/", CensorGenome.baseline("china"))
+        plain = TrialSpec.build("china", "http", "\\/", seed=trial_seed(5, 0))
+        assert specs[0].canonical_key() == plain.canonical_key()
+
+    def test_adapted_pairs_key_on_genome(self):
+        ev = PairEvaluator("china", "http", trials=1, seed=5)
+        base = CensorGenome.baseline("china")
+        hard = CensorGenome("china", {**base.params, "resync_scale": 0.0})
+        assert ev._pair_key("\\/", base) != ev._pair_key("\\/", hard)
+
+    def test_outcome_counts_sum_to_trials(self):
+        ev = PairEvaluator("china", "http", trials=3, seed=5)
+        out = ev.outcome("\\/", CensorGenome.baseline("china"))
+        assert out.successes + out.censored + out.broken == out.trials == 3
+        assert ev.stats.batches == 1

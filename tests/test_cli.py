@@ -388,3 +388,77 @@ class TestEvolveFlags:
 
         expected = f"{min(SERVER_STRATEGIES)}-{max(SERVER_STRATEGIES)}"
         assert expected in out
+
+
+class TestCoevolveCommand:
+    ARGS = [
+        "coevolve", "china",
+        "--epochs", "2", "--strategy-population", "8",
+        "--censor-population", "4", "--trials", "1",
+        "--frontier-trials", "4", "--seed", "1",
+    ]
+
+    def test_table_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "china/http: 2 epochs of censor adaptation" in out
+        assert "status" in out
+        assert "strongest adapted censor" in out
+
+    def test_json_deterministic_across_worker_counts(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--json", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        payload = json.loads(serial)
+        assert payload["country"] == "china"
+        assert payload["config"]["epochs"] == 2
+        assert len(payload["frontier"]) == 8
+
+    def test_default_country_and_protocol(self, capsys):
+        assert main([
+            "coevolve", "--epochs", "1", "--strategy-population", "6",
+            "--censor-population", "3", "--trials", "1",
+            "--frontier-trials", "2",
+        ]) == 0
+        assert "china/http" in capsys.readouterr().out
+
+    def test_stats_flag(self, capsys):
+        assert main(self.ARGS + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "stats: coevolve: pairs=" in out
+        assert "batches=" in out
+
+    def test_telemetry_includes_coevolve_metrics(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "tele"
+        assert main(self.ARGS + ["--telemetry", str(out_dir)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads((out_dir / "metrics.json").read_text())
+        assert "repro_coevolve_epochs_total" in snapshot
+        assert "repro_coevolve_pairs_total" in snapshot
+        assert "repro_coevolve_batches_total" in snapshot
+
+
+class TestDeterministicJSONGuard:
+    def test_nan_payload_rejected(self):
+        from repro.cli import _dump_deterministic_json
+
+        with pytest.raises(SystemExit, match="non-standard JSON"):
+            _dump_deterministic_json({"fitness": float("nan")}, "evolve --json")
+
+    def test_infinity_payload_rejected(self):
+        from repro.cli import _dump_deterministic_json
+
+        with pytest.raises(SystemExit, match="non-standard JSON"):
+            _dump_deterministic_json({"fitness": float("inf")}, "coevolve --json")
+
+    def test_clean_payload_sorted_and_indented(self):
+        from repro.cli import _dump_deterministic_json
+
+        out = _dump_deterministic_json({"b": 1, "a": 2}, "test")
+        assert out.index('"a"') < out.index('"b"')

@@ -2,8 +2,11 @@
 """Docstring lint: every public API in the given trees must be documented.
 
 A small pydocstyle-flavoured checker with no dependencies, enforced in
-CI (and by ``tests/test_docstrings.py``) for ``src/repro/campaign`` and
-``src/repro/obs`` so new public APIs ship documented. Rules:
+CI (and by ``tests/test_docstrings.py``) for ``src/repro/campaign``,
+``src/repro/obs``, ``src/repro/censors/adaptive.py``, and
+``src/repro/core/evolution/coevolve.py`` so new public APIs ship
+documented. Arguments may be directories (checked recursively) or
+single files. Rules:
 
 - every module has a docstring;
 - every public class (name not starting with ``_``) has a docstring;

@@ -56,6 +56,14 @@ _KNOB_PATTERNS = [
         r"(\bgenerations\s*=\s*)(\d+)",
         r"(\bpopulation_size\s*=\s*)(\d+)",
         r"(\bmax_tries\s*=\s*)(\d+)",
+        r"(--epochs\s+)(\d+)",
+        r"(\bepochs\s*=\s*)(\d+)",
+        r"(--frontier-trials\s+)(\d+)",
+        r"(\bfrontier_trials\s*=\s*)(\d+)",
+        r"(--strategy-population\s+)(\d+)",
+        r"(\bstrategy_population\s*=\s*)(\d+)",
+        r"(--censor-population\s+)(\d+)",
+        r"(\bcensor_population\s*=\s*)(\d+)",
     )
 ]
 
